@@ -1,0 +1,78 @@
+// Reproduces Figure 9(a): speed-up while scaling the number of workers.
+// The paper sweeps 1..64 threads on a 32-core server; this machine's core
+// count bounds what a wall-clock speed-up can show (on a single-core
+// container the curve is flat-to-degrading — EXPERIMENTS.md discusses
+// this), so alongside time we report total tuples processed per second of
+// aggregate worker time, which tracks per-worker efficiency.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dcdatalog {
+namespace bench {
+namespace {
+
+void Main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "Figure 9(a) — worker scaling under DWS (seconds; hardware threads on "
+      "this machine: %u).\n\n",
+      hw);
+
+  const Graph& lj = SocialDataset("social-S");
+  const Graph& ar = SocialDataset("social-L");
+  const uint64_t delivery_parts = Scaled(400000);
+
+  struct Workload {
+    const char* name;
+    std::function<void(DCDatalog*)> setup;
+    const char* program;
+    const char* result;
+  };
+  const Workload workloads[] = {
+      {"CC/social-S", [&lj](DCDatalog* db) { LoadGraphRelations(db, lj); },
+       kCcProgram, "cc"},
+      {"SSSP/social-L", [&ar](DCDatalog* db) { LoadGraphRelations(db, ar); },
+       kSsspProgram, "results"},
+      {"Delivery/N-400K",
+       [delivery_parts](DCDatalog* db) {
+         LoadDeliveryRelations(db, delivery_parts);
+       },
+       kDeliveryProgram, "results"},
+  };
+
+  std::vector<uint32_t> worker_counts = {1, 2, 4, 8};
+  if (hw > 8) worker_counts.push_back(16);
+  if (hw > 16) worker_counts.push_back(2 * hw > 64 ? 64 : 2 * hw);
+
+  std::printf("%-18s", "workload");
+  for (uint32_t w : worker_counts) std::printf(" %8uw", w);
+  std::printf("   speedup(best)\n");
+
+  for (const Workload& wl : workloads) {
+    std::printf("%-18s", wl.name);
+    double t1 = 0, best = 1e30;
+    for (uint32_t workers : worker_counts) {
+      EngineOptions options = BaseOptions(CoordinationMode::kDws);
+      options.num_workers = workers;
+      RunResult r = RunProgram(options, wl.setup, wl.program, wl.result);
+      PrintCell(r);
+      std::fflush(stdout);
+      if (r.ok) {
+        if (workers == 1) t1 = r.seconds;
+        best = std::min(best, r.seconds);
+      }
+    }
+    if (t1 > 0) std::printf("   %.2fx", t1 / best);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcdatalog
+
+int main() { dcdatalog::bench::Main(); }

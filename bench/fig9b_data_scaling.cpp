@@ -1,0 +1,56 @@
+// Reproduces Figure 9(b): scaling with data volume. The paper grows
+// RMAT-n from 10M to 160M vertices; we run the same doubling ladder at
+// laptop scale (10K..160K at REPRO_SCALE=1) for CC and SSSP, and N-n
+// trees for Delivery. Expected shape: time grows roughly linearly with
+// dataset size.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dcdatalog {
+namespace bench {
+namespace {
+
+void Main() {
+  std::printf(
+      "Figure 9(b) — data scaling under DWS (seconds). Sizes are vertices\n"
+      "for RMAT (10x edges) and parts for the Delivery trees.\n\n");
+  std::printf("%-10s %10s %10s %10s %12s\n", "size", "CC", "SSSP", "Delivery",
+              "CC time/edge");
+
+  const std::vector<uint64_t> ladder = {10000, 20000, 40000, 80000, 160000};
+  for (uint64_t base : ladder) {
+    const uint64_t n = Scaled(base);
+    Graph g = GenerateRmat(n, 0xF16 + n);
+    AssignRandomWeights(&g, 100, n);
+    auto graph_setup = [&g](DCDatalog* db) { LoadGraphRelations(db, g); };
+    auto delivery_setup = [n](DCDatalog* db) {
+      LoadDeliveryRelations(db, n * 2);
+    };
+
+    std::printf("%-10llu", static_cast<unsigned long long>(n));
+    RunResult cc = RunProgram(BaseOptions(CoordinationMode::kDws),
+                              graph_setup, kCcProgram, "cc");
+    PrintCell(cc);
+    std::fflush(stdout);
+    PrintCell(RunProgram(BaseOptions(CoordinationMode::kDws), graph_setup,
+                         kSsspProgram, "results"));
+    std::fflush(stdout);
+    PrintCell(RunProgram(BaseOptions(CoordinationMode::kDws), delivery_setup,
+                         kDeliveryProgram, "results"));
+    if (cc.ok && g.num_edges() > 0) {
+      std::printf(" %10.1fns",
+                  cc.seconds * 1e9 / static_cast<double>(g.num_edges()));
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcdatalog
+
+int main() { dcdatalog::bench::Main(); }

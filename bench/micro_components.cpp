@@ -1,0 +1,182 @@
+// Micro-benchmarks (google-benchmark) for the engine's building blocks:
+// B+-tree vs std::map, hash/dynamic indexes, SPSC queue, tuple set,
+// recursive-table merge paths (the §6.2 optimization in isolation).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "concurrent/spsc_queue.h"
+#include "runtime/recursive_table.h"
+#include "storage/btree.h"
+#include "storage/dyn_index.h"
+#include "storage/hash_index.h"
+#include "storage/tuple_set.h"
+
+namespace dcdatalog {
+namespace {
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    BPlusTree<uint64_t, uint64_t> tree;
+    Rng rng(1);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(rng.Next(), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_StdMultimapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    std::multimap<uint64_t, uint64_t> tree;
+    Rng rng(1);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.emplace(rng.Next(), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdMultimapInsert)->Arg(10000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BPlusTree<uint64_t, uint64_t> tree;
+  Rng fill(1);
+  for (int64_t i = 0; i < state.range(0); ++i) tree.Insert(fill.Next(), i);
+  Rng probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(probe.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(100000)->Arg(1000000);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  Relation rel("r", Schema::Ints(2));
+  Rng fill(1);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    rel.Append({fill.Uniform(state.range(0) / 8), static_cast<uint64_t>(i)});
+  }
+  HashIndex index;
+  index.Build(rel, 0);
+  Rng probe(2);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    index.ForEachMatch(probe.Uniform(state.range(0) / 8),
+                       [&sink](uint64_t row) {
+                         sink += row;
+                         return true;
+                       });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexProbe)->Arg(100000)->Arg(1000000);
+
+void BM_DynIndexInsertProbe(benchmark::State& state) {
+  for (auto _ : state) {
+    DynIndex index;
+    Rng rng(1);
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      index.Insert(rng.Uniform(1024), i);
+      if ((i & 7) == 0) {
+        index.ForEachMatch(rng.Uniform(1024), [&sink](uint64_t r) {
+          sink += r;
+          return false;
+        });
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynIndexInsertProbe)->Arg(100000);
+
+void BM_SpscQueueThroughput(benchmark::State& state) {
+  SpscQueue<TupleBuf> q(4096);
+  TupleBuf buf{1, 2, 3};
+  std::vector<TupleBuf> out;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      while (!q.TryPush(buf)) {
+        out.clear();
+        q.PopBatch(&out);
+      }
+    }
+    out.clear();
+    q.PopBatch(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SpscQueueThroughput);
+
+void BM_TupleSetInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    Relation rel("r", Schema::Ints(2));
+    TupleSet set(&rel);
+    Rng rng(1);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      uint64_t row = rel.Append({rng.Uniform(1 << 16), rng.Uniform(1 << 16)});
+      benchmark::DoNotOptimize(set.Insert(row));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TupleSetInsert)->Arg(100000);
+
+AggSpec MinSpec() {
+  AggSpec s;
+  s.func = AggFunc::kMin;
+  s.group_arity = 1;
+  s.stored_arity = 2;
+  s.wire_arity = 2;
+  s.value_type = ColumnType::kInt;
+  return s;
+}
+
+void MergeBench(benchmark::State& state, bool agg_index, bool cache) {
+  EngineOptions options;
+  options.enable_aggregate_index = agg_index;
+  options.enable_existence_cache = cache;
+  Rng rng(1);
+  std::vector<std::vector<TupleBuf>> batches;
+  for (int b = 0; b < 64; ++b) {
+    std::vector<TupleBuf> batch;
+    for (int i = 0; i < 1024; ++i) {
+      batch.push_back({rng.Uniform(1 << 14), rng.Uniform(1 << 20)});
+    }
+    batches.push_back(std::move(batch));
+  }
+  for (auto _ : state) {
+    RecursiveTable table("r", Schema::Ints(2), MinSpec(), 0, false, options);
+    for (const auto& batch : batches) table.MergeBatch(batch);
+    benchmark::DoNotOptimize(table.rows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 1024);
+}
+
+void BM_MergeMinIndexed(benchmark::State& state) {
+  MergeBench(state, /*agg_index=*/true, /*cache=*/true);
+}
+BENCHMARK(BM_MergeMinIndexed);
+
+void BM_MergeMinIndexedNoCache(benchmark::State& state) {
+  MergeBench(state, /*agg_index=*/true, /*cache=*/false);
+}
+BENCHMARK(BM_MergeMinIndexedNoCache);
+
+void BM_MergeMinLinearScan(benchmark::State& state) {
+  MergeBench(state, /*agg_index=*/false, /*cache=*/false);
+}
+BENCHMARK(BM_MergeMinLinearScan);
+
+}  // namespace
+}  // namespace dcdatalog
+
+BENCHMARK_MAIN();

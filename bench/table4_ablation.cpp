@@ -1,0 +1,102 @@
+// Reproduces Table 4: the effect of the §6.2 optimization techniques —
+// index-assisted aggregate merging (§6.2.1) and the existence-check cache
+// (§6.2.2) — on CC and SSSP, across the four social-graph stand-ins.
+// "w/o" disables both; "w/" is the fully optimized engine. The paper
+// reports 1.86x–2.91x gains.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/recursive_table.h"
+
+namespace dcdatalog {
+namespace bench {
+namespace {
+
+void Main() {
+  std::printf(
+      "Table 4 — effect of the §6.2 optimizations (seconds) under DWS.\n\n");
+  std::printf("%-10s %-12s %9s %9s %8s %12s\n", "query", "dataset", "w/o",
+              "w/", "gain", "cache hits");
+
+  struct QuerySpec {
+    const char* name;
+    const char* program;
+    const char* result;
+  };
+  const QuerySpec queries[] = {{"CC", kCcProgram, "cc"},
+                               {"SSSP", kSsspProgram, "results"}};
+
+  for (const QuerySpec& q : queries) {
+    for (const char* dataset :
+         {"social-S", "social-M", "social-L", "social-XL"}) {
+      const Graph& g = SocialDataset(dataset);
+      auto setup = [&g](DCDatalog* db) { LoadGraphRelations(db, g); };
+
+      EngineOptions without = BaseOptions(CoordinationMode::kDws);
+      without.enable_aggregate_index = false;
+      without.enable_existence_cache = false;
+      RunResult r_without = RunProgram(without, setup, q.program, q.result);
+
+      EngineOptions with = BaseOptions(CoordinationMode::kDws);
+      RunResult r_with = RunProgram(with, setup, q.program, q.result);
+
+      std::printf("%-10s %-12s", q.name, dataset);
+      PrintCell(r_without);
+      PrintCell(r_with);
+      if (r_without.ok && r_with.ok) {
+        std::printf(" %7.2fx %12llu", r_without.seconds / r_with.seconds,
+                    static_cast<unsigned long long>(r_with.stats.cache_hits));
+        if (r_without.result_rows != r_with.result_rows) {
+          std::printf("  RESULT MISMATCH!");
+        }
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
+  // The optimizations' payoff grows with recursive-table size (the paper's
+  // tables have 10^6..10^8 groups; the end-to-end datasets above top out
+  // around 10^4..10^5). This controlled sweep isolates the merge path —
+  // indexed + cached vs linear-scan — at growing group counts to show the
+  // trend that produces the paper's 1.86x–2.91x at server scale.
+  std::printf(
+      "\nControlled merge-path sweep (min-aggregate, 64 batches x 4096\n"
+      "tuples; seconds per full merge sequence):\n\n");
+  std::printf("%-12s %9s %9s %8s\n", "groups", "w/o", "w/", "gain");
+  for (uint64_t groups : {1u << 14, 1u << 16, 1u << 18}) {
+    double secs[2];
+    for (int optimized = 0; optimized < 2; ++optimized) {
+      EngineOptions options;
+      options.enable_aggregate_index = optimized != 0;
+      options.enable_existence_cache = optimized != 0;
+      AggSpec spec;
+      spec.func = AggFunc::kMin;
+      spec.group_arity = 1;
+      spec.stored_arity = 2;
+      spec.wire_arity = 2;
+      RecursiveTable table("t", Schema::Ints(2), spec, 0, false, options);
+      Rng rng(groups);
+      WallTimer timer;
+      std::vector<TupleBuf> batch;
+      for (int b = 0; b < 64; ++b) {
+        batch.clear();
+        for (int i = 0; i < 4096; ++i) {
+          batch.push_back({rng.Uniform(groups), rng.Uniform(1 << 20)});
+        }
+        table.MergeBatch(batch);
+      }
+      secs[optimized] = timer.ElapsedSeconds();
+    }
+    std::printf("%-12llu %9.3f %9.3f %7.2fx\n",
+                static_cast<unsigned long long>(groups), secs[0], secs[1],
+                secs[0] / secs[1]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcdatalog
+
+int main() { dcdatalog::bench::Main(); }

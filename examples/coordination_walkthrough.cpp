@@ -1,0 +1,156 @@
+// Walkthrough of the paper's running example (Figure 3): the connected-
+// component query on the 10-vertex example graph, executed under all three
+// coordination strategies. Prints per-strategy wall time and iteration
+// counts so the Global ≥ SSP ≥ DWS ordering of the paper's worked example
+// can be observed live (on a larger instance of the same shape, so the
+// differences are measurable).
+//
+//   ./coordination_walkthrough [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "core/dcdatalog.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace dcdatalog;
+
+/// The paper's Figure 3(a) graph: one small cluster {1,2,3} around vertex 1
+/// plus a larger blob around vertex 4 — the worker owning the small cluster
+/// finishes its local iterations first, which is exactly the situation the
+/// strategies handle differently. `scale` inflates the blob.
+Graph Figure3Graph(uint64_t scale) {
+  Graph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 1);
+  // The heavy component: a long chain with shortcuts, vertices 4..4+scale.
+  for (uint64_t i = 0; i < scale; ++i) {
+    g.AddEdge(4 + i, 5 + i);
+    if (i % 3 == 0 && i > 0) g.AddEdge(4 + i, 4 + i / 2);
+  }
+  return g;
+}
+
+constexpr char kCc[] = R"(
+  cc2(Y, min<Y>) :- arc(Y, _).
+  cc2(Y, min<Y>) :- arc(_, Y).
+  cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).
+  cc2(Y, min<Z>) :- cc2(X, Z), arc(Y, X).
+  cc(Y, min<Z>) :- cc2(Y, Z).
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  Graph g = Figure3Graph(scale);
+  std::printf(
+      "Figure 3 walkthrough: CC on the example graph scaled to %llu edges, "
+      "3 workers\n\n",
+      static_cast<unsigned long long>(g.num_edges()));
+  std::printf("%-8s %10s %18s %18s\n", "strategy", "time", "local iters(total)",
+              "local iters(max)");
+
+  uint64_t expected = 0;
+  for (CoordinationMode mode :
+       {CoordinationMode::kGlobal, CoordinationMode::kSsp,
+        CoordinationMode::kDws}) {
+    EngineOptions options;
+    options.num_workers = 3;  // As in the worked example W1..W3.
+    options.coordination = mode;
+    DCDatalog db(options);
+    db.AddGraph(g, "arc");
+    if (!db.LoadProgramText(kCc).ok()) return 1;
+    WallTimer timer;
+    auto stats = db.Run();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s %9.3fs %18llu %18llu\n", CoordinationModeName(mode),
+                timer.ElapsedSeconds(),
+                static_cast<unsigned long long>(
+                    stats.value().total_local_iterations),
+                static_cast<unsigned long long>(
+                    stats.value().max_local_iterations));
+    // Sanity: every strategy computes the same components.
+    const uint64_t labels = db.ResultFor("cc")->size();
+    if (expected == 0) expected = labels;
+    if (labels != expected) {
+      std::fprintf(stderr, "strategy disagreement: %llu vs %llu labels!\n",
+                   static_cast<unsigned long long>(labels),
+                   static_cast<unsigned long long>(expected));
+      return 1;
+    }
+  }
+  std::printf(
+      "\nAll strategies agree on %llu component labels. DWS avoids the\n"
+      "per-iteration global barrier (Global) and the fixed staleness bound\n"
+      "(SSP) by letting each worker decide, from its queueing statistics,\n"
+      "whether waiting for more tuples beats starting the next iteration.\n",
+      static_cast<unsigned long long>(expected));
+
+  // Second act: render each strategy's execution timeline (the live
+  // version of the paper's Figure 3(b) diagrams). '#' = computing an
+  // iteration, '.' = idle waiting (barrier / slack / ω-τ wait / parked).
+  std::printf("\nExecution timelines (%u columns = full run):\n", 72u);
+  for (CoordinationMode mode :
+       {CoordinationMode::kGlobal, CoordinationMode::kSsp,
+        CoordinationMode::kDws}) {
+    EngineOptions options;
+    options.num_workers = 3;
+    options.coordination = mode;
+    options.enable_trace = true;
+    DCDatalog db(options);
+    db.AddGraph(g, "arc");
+    if (!db.LoadProgramText(kCc).ok()) return 1;
+    auto stats = db.Run();
+    if (!stats.ok()) return 1;
+    const auto& trace = stats.value().trace;
+    if (trace.empty()) continue;
+    int64_t t0 = trace[0].start_ns, t1 = trace[0].end_ns;
+    for (const TraceEvent& ev : trace) {
+      t0 = std::min(t0, ev.start_ns);
+      t1 = std::max(t1, ev.end_ns);
+    }
+    const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
+    constexpr int kCols = 72;
+    std::printf("\n%s (%.0f ms total)\n", CoordinationModeName(mode),
+                span / 1e6);
+    for (uint32_t w = 0; w < 3; ++w) {
+      // Per column, pick the dominant activity of that time slice.
+      double busy[kCols] = {0}, idle[kCols] = {0};
+      for (const TraceEvent& ev : trace) {
+        if (ev.worker != w) continue;
+        const double a = (ev.start_ns - t0) / span * kCols;
+        const double b = (ev.end_ns - t0) / span * kCols;
+        for (int c = static_cast<int>(a); c <= b && c < kCols; ++c) {
+          const double lo = std::max(a, static_cast<double>(c));
+          const double hi = std::min(b, static_cast<double>(c + 1));
+          if (hi <= lo) continue;
+          (ev.kind == TraceEvent::Kind::kIteration ? busy : idle)[c] +=
+              hi - lo;
+        }
+      }
+      std::printf("  W%u |", w + 1);
+      for (int c = 0; c < kCols; ++c) {
+        char glyph = ' ';
+        if (busy[c] > 0 && busy[c] >= idle[c]) {
+          glyph = '#';
+        } else if (idle[c] > 0) {
+          glyph = '.';
+        }
+        std::printf("%c", glyph);
+      }
+      std::printf("|\n");
+    }
+  }
+  std::printf(
+      "\nGlobal's rows show wide '.' bands: fast workers parked at the\n"
+      "barrier while the straggler computes. DWS rows stay mostly '#'.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#ifndef DCDATALOG_COMMON_HASH_H_
+#define DCDATALOG_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace dcdatalog {
+
+/// Finalizer from SplitMix64 / MurmurHash3's fmix64. Full-avalanche, cheap,
+/// and good enough that the partition function H(key) spreads skewed graph
+/// ids evenly across workers.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine shape, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (HashMix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+/// Hashes a span of 64-bit words (a tuple or a composite key).
+inline uint64_t HashWords(const uint64_t* data, size_t n) {
+  uint64_t h = 0x8445d61a4e774912ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+/// The partition discriminating function H from the paper (Algorithm 1):
+/// maps a join-key hash onto one of `num_partitions` workers.
+inline uint32_t PartitionOf(uint64_t key, uint32_t num_partitions) {
+  return static_cast<uint32_t>(HashMix64(key) % num_partitions);
+}
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_HASH_H_

@@ -1,0 +1,79 @@
+#ifndef DCDATALOG_COMMON_LOGGING_H_
+#define DCDATALOG_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace dcdatalog {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are discarded. Defaults to
+/// kWarning so library users see problems but not chatter; tools and benches
+/// may lower it. Reads DCD_LOG_LEVEL from the environment on first use
+/// (values: debug, info, warning, error).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+/// kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Adapts a streamed LogMessage expression to void so it can sit on one arm
+/// of a ternary (the glog "voidify" idiom). operator& binds looser than <<.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
+};
+
+}  // namespace internal
+}  // namespace dcdatalog
+
+/// Usage: DCD_LOG(Info) << "loaded " << n << " facts";
+#define DCD_LOG(level)                                            \
+  (::dcdatalog::LogLevel::k##level < ::dcdatalog::GetLogLevel())  \
+      ? (void)0                                                   \
+      : ::dcdatalog::internal::Voidify() &                        \
+            ::dcdatalog::internal::LogMessage(                    \
+                ::dcdatalog::LogLevel::k##level, __FILE__, __LINE__)
+
+/// DCD_CHECK aborts (in all build modes) when `cond` is false. Used for
+/// invariants whose violation means engine-internal corruption.
+#define DCD_CHECK(cond)                                          \
+  (cond) ? (void)0                                               \
+         : ::dcdatalog::internal::Voidify() &                    \
+               (::dcdatalog::internal::LogMessage(               \
+                    ::dcdatalog::LogLevel::kFatal, __FILE__,     \
+                    __LINE__)                                    \
+                << "Check failed: " #cond " ")
+
+#define DCD_DCHECK(cond) assert(cond)
+
+#endif  // DCDATALOG_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef DCDATALOG_COMMON_OPTIONS_H_
+#define DCDATALOG_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcdatalog {
+
+/// Which parallel coordination strategy the evaluation loop runs (paper §4).
+enum class CoordinationMode : uint8_t {
+  kGlobal = 0,  // Algorithm 1: barrier after every global iteration.
+  kSsp = 1,     // Stale-synchronous: fast workers may run `ssp_slack` ahead.
+  kDws = 2,     // Algorithm 2: dynamic weight-based strategy (the paper's).
+};
+
+const char* CoordinationModeName(CoordinationMode mode);
+
+/// Engine-wide tuning knobs. Defaults reproduce the configuration the paper
+/// evaluates (DWS with all §6 optimizations on).
+struct EngineOptions {
+  /// Worker (thread) count; 0 means std::thread::hardware_concurrency().
+  uint32_t num_workers = 0;
+
+  CoordinationMode coordination = CoordinationMode::kDws;
+
+  /// SSP slack s: a worker may be at most this many local iterations ahead
+  /// of the slowest worker (paper §4.1; the evaluation uses s = 5).
+  uint32_t ssp_slack = 5;
+
+  /// DWS deadlock-avoidance timeout (Algorithm 2 line 8): a waiting worker
+  /// resumes unconditionally after this many microseconds.
+  uint32_t dws_timeout_us = 2000;
+
+  /// Upper bound DWS places on a single wait slice, microseconds.
+  uint32_t dws_max_wait_slice_us = 200;
+
+  /// Per-(producer, consumer) SPSC ring capacity in tuples (§6.1).
+  uint32_t spsc_capacity = 1 << 14;
+
+  /// §6.2.1: merge aggregates through the recursive-table index instead of
+  /// a linear re-scan.
+  bool enable_aggregate_index = true;
+
+  /// §6.2.2: constant-time existence/aggregate cache consulted before the
+  /// B+-tree index.
+  bool enable_existence_cache = true;
+
+  /// §5.2.3 / Figure 7: fold min/max derivations per group inside
+  /// Distribute before routing, so only each iteration's per-group best
+  /// crosses worker boundaries.
+  bool enable_partial_aggregation = true;
+
+  /// Existence-cache slots per worker (direct-mapped).
+  uint32_t existence_cache_slots = 1 << 15;
+
+  /// Safety valve for non-terminating programs; 0 = unlimited.
+  uint64_t max_global_iterations = 0;
+
+  /// Convergence threshold for sum-aggregates in recursion (PageRank):
+  /// a contribution that changes a group's sum by <= epsilon does not
+  /// re-enter the delta.
+  double sum_epsilon = 1e-9;
+
+  /// Record per-worker execution trace events (iteration/idle spans) into
+  /// EvalStats::trace. Adds overhead; meant for visualization and debugging
+  /// (see examples/coordination_walkthrough).
+  bool enable_trace = false;
+
+  /// Validated copy with num_workers resolved to a concrete count.
+  EngineOptions Resolved() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_OPTIONS_H_

@@ -1,0 +1,138 @@
+#ifndef DCDATALOG_COMMON_STATUS_H_
+#define DCDATALOG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dcdatalog {
+
+/// Error categories used across the engine. Kept deliberately small; the
+/// message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kParseError,
+  kPlanError,
+  kRuntimeError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Status is the error-reporting vocabulary of DCDatalog: the engine is
+/// built without exceptions, so every fallible operation returns a Status
+/// (or a Result<T>, below). An OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> couples a Status with a value; exactly one is meaningful.
+/// Use `ok()` before `value()`. Move-friendly so large payloads (relations,
+/// plans) travel without copies.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {     // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result from OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dcdatalog
+
+/// Propagates a non-OK Status from an expression, mirroring absl's macro.
+#define DCD_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::dcdatalog::Status _dcd_status = (expr);     \
+    if (!_dcd_status.ok()) return _dcd_status;    \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating the error or binding the
+/// value into `lhs`.
+#define DCD_ASSIGN_OR_RETURN(lhs, expr)           \
+  DCD_ASSIGN_OR_RETURN_IMPL(                      \
+      DCD_STATUS_CONCAT(_dcd_result, __LINE__), lhs, expr)
+
+#define DCD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define DCD_STATUS_CONCAT(a, b) DCD_STATUS_CONCAT_IMPL(a, b)
+#define DCD_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // DCDATALOG_COMMON_STATUS_H_

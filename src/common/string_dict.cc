@@ -1,0 +1,36 @@
+#include "common/string_dict.h"
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace dcdatalog {
+
+uint64_t StringDict::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  uint64_t id = strings_.size();
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::string StringDict::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DCD_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+uint64_t StringDict::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? UINT64_MAX : it->second;
+}
+
+size_t StringDict::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace dcdatalog

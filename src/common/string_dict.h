@@ -1,0 +1,48 @@
+#ifndef DCDATALOG_COMMON_STRING_DICT_H_
+#define DCDATALOG_COMMON_STRING_DICT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dcdatalog {
+
+/// Interns strings to dense uint64 ids so tuples stay fixed-width. Interning
+/// happens at load/parse time (possibly from several threads); lookups of
+/// already-interned ids are wait-free reads after loading completes.
+///
+/// Thread safety: Intern() is internally synchronized. Get() is safe
+/// concurrently with Intern() because ids_ grows through a std::deque-like
+/// chunked vector that never invalidates earlier entries — we use
+/// std::vector<std::string> guarded by the same mutex for simplicity, and
+/// Get() takes the lock too; the evaluator hot path never calls Get().
+class StringDict {
+ public:
+  StringDict() = default;
+
+  StringDict(const StringDict&) = delete;
+  StringDict& operator=(const StringDict&) = delete;
+
+  /// Returns the id for `s`, inserting it if new.
+  uint64_t Intern(std::string_view s);
+
+  /// Returns the string for `id`. id must have been returned by Intern().
+  std::string Get(uint64_t id) const;
+
+  /// Returns the id for `s` if present, or UINT64_MAX.
+  uint64_t Find(std::string_view s) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_STRING_DICT_H_

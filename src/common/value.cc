@@ -1,0 +1,17 @@
+#include "common/value.h"
+
+namespace dcdatalog {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+}  // namespace dcdatalog

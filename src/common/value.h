@@ -1,0 +1,82 @@
+#ifndef DCDATALOG_COMMON_VALUE_H_
+#define DCDATALOG_COMMON_VALUE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace dcdatalog {
+
+/// Column types used by relation schemas. Tuples store each column as a raw
+/// 64-bit word; the schema says how to interpret it. Strings are interned in
+/// a StringDict and stored as their dictionary ids, so the hot evaluation
+/// path never touches heap strings.
+enum class ColumnType : uint8_t {
+  kInt = 0,     // int64_t
+  kDouble = 1,  // IEEE double, bit-cast into the word
+  kString = 2,  // StringDict id
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Bit-level conversions between the raw tuple word and typed views.
+inline uint64_t WordFromInt(int64_t v) { return static_cast<uint64_t>(v); }
+inline int64_t IntFromWord(uint64_t w) { return static_cast<int64_t>(w); }
+inline uint64_t WordFromDouble(double v) { return std::bit_cast<uint64_t>(v); }
+inline double DoubleFromWord(uint64_t w) { return std::bit_cast<double>(w); }
+
+/// A tagged scalar used by the front end (constants in rules, expression
+/// evaluation results). 16 bytes; trivially copyable.
+struct Value {
+  ColumnType type = ColumnType::kInt;
+  uint64_t word = 0;
+
+  static Value Int(int64_t v) { return {ColumnType::kInt, WordFromInt(v)}; }
+  static Value Double(double v) {
+    return {ColumnType::kDouble, WordFromDouble(v)};
+  }
+  static Value String(uint64_t dict_id) {
+    return {ColumnType::kString, dict_id};
+  }
+
+  int64_t AsInt() const { return IntFromWord(word); }
+  double AsDouble() const {
+    return type == ColumnType::kDouble ? DoubleFromWord(word)
+                                       : static_cast<double>(AsInt());
+  }
+
+  bool IsNumeric() const { return type != ColumnType::kString; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.type == b.type) return a.word == b.word;
+    // Numeric cross-type comparison (int vs double) compares by value.
+    if (a.IsNumeric() && b.IsNumeric()) return a.AsDouble() == b.AsDouble();
+    return false;
+  }
+
+  /// Orders numerics by value and strings by dictionary id. Comparing a
+  /// string against a numeric is a caller bug guarded in the evaluator.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.IsNumeric() && b.IsNumeric()) {
+      if (a.type == ColumnType::kInt && b.type == ColumnType::kInt) {
+        return a.AsInt() < b.AsInt();
+      }
+      return a.AsDouble() < b.AsDouble();
+    }
+    return a.word < b.word;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+};
+
+inline uint64_t HashValue(const Value& v) {
+  return HashCombine(static_cast<uint64_t>(v.type), v.word);
+}
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_VALUE_H_

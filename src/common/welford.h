@@ -1,0 +1,51 @@
+#ifndef DCDATALOG_COMMON_WELFORD_H_
+#define DCDATALOG_COMMON_WELFORD_H_
+
+#include <cstdint>
+
+namespace dcdatalog {
+
+/// Welford's online mean/variance accumulator. DWS (paper §4.2) maintains
+/// one of these per message buffer for inter-arrival times and one per
+/// worker for service times; Equation (1) and Kingman's formula consume the
+/// mean and variance.
+class Welford {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  void Reset() {
+    count_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  /// Exponential decay toward fresh behaviour: halves the effective sample
+  /// count so older iterations stop dominating the estimates. Mean and
+  /// variance are preserved.
+  void Decay() {
+    count_ /= 2;
+    m2_ /= 2.0;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_WELFORD_H_

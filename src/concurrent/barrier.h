@@ -1,0 +1,66 @@
+#ifndef DCDATALOG_CONCURRENT_BARRIER_H_
+#define DCDATALOG_CONCURRENT_BARRIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dcdatalog {
+
+/// Reusable sense-reversing spin barrier. The Global coordination strategy
+/// (Algorithm 1) places one of these after every global iteration; its cost
+/// — every fast worker idling until the slowest arrives — is exactly the
+/// overhead DWS removes.
+///
+/// Spins with yield; iteration bodies are long relative to the barrier, so
+/// futex-style blocking would add latency without saving meaningful CPU.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all `parties` threads have called Wait. Returns true on
+  /// exactly one thread per round (the last arriver).
+  bool Wait() {
+    return Wait([] {});
+  }
+
+  /// Like Wait(), but the last arriver runs `serial()` before any other
+  /// thread is released — a serial section at the synchronization point
+  /// (Global uses it to test the all-deltas-empty exit condition).
+  template <typename Fn>
+  bool Wait(Fn&& serial) {
+    return Wait(std::forward<Fn>(serial), [] {});
+  }
+
+  /// Full form: `idle()` runs on every spin of a waiting thread. The engine
+  /// passes its buffer-drain routine so a worker parked at the barrier
+  /// keeps consuming messages — otherwise a producer blocked on a full
+  /// ring targeting a parked worker would deadlock the round.
+  template <typename Fn, typename IdleFn>
+  bool Wait(Fn&& serial, IdleFn&& idle) {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      serial();
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return true;
+    }
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      idle();
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CONCURRENT_BARRIER_H_

@@ -1,0 +1,100 @@
+#ifndef DCDATALOG_CONCURRENT_TERMINATION_H_
+#define DCDATALOG_CONCURRENT_TERMINATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dcdatalog {
+
+/// Global-fixpoint detector, paper §6.1: evaluation terminates when (i) all
+/// workers are inactive and (ii) every message buffer is empty. Buffer
+/// emptiness is established counter-wise — one global count of tuples
+/// produced into buffers versus per-worker counts of tuples consumed.
+///
+/// Protocol (all memory_order noted inline):
+///  * A producer pushes tuples, calls AddProduced(n), then Activate(target).
+///    Ordering matters: the produced count rises before the target can
+///    observe itself re-activated, so a successful termination check can
+///    never miss in-flight tuples.
+///  * A consumer calls AddConsumed(self, n) when it drains its buffers and
+///    Deactivate(self) only once it holds no unprocessed tuples.
+///  * CheckTermination() double-reads the produced counter around the flag
+///    scan; any concurrent production invalidates the round.
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(uint32_t num_workers)
+      : consumed_(num_workers), active_(num_workers) {
+    for (auto& counter : consumed_) counter.v.store(0);
+    for (auto& flag : active_) flag.v.store(true);
+  }
+
+  void AddProduced(uint64_t n) {
+    produced_.fetch_add(n, std::memory_order_acq_rel);
+  }
+
+  void AddConsumed(uint32_t worker, uint64_t n) {
+    consumed_[worker].v.fetch_add(n, std::memory_order_acq_rel);
+  }
+
+  void Activate(uint32_t worker) {
+    active_[worker].v.store(true, std::memory_order_release);
+  }
+
+  void Deactivate(uint32_t worker) {
+    active_[worker].v.store(false, std::memory_order_release);
+  }
+
+  bool IsActive(uint32_t worker) const {
+    return active_[worker].v.load(std::memory_order_acquire);
+  }
+
+  uint64_t produced() const {
+    return produced_.load(std::memory_order_acquire);
+  }
+
+  uint64_t consumed_total() const {
+    uint64_t c = 0;
+    for (const auto& counter : consumed_) {
+      c += counter.v.load(std::memory_order_acquire);
+    }
+    return c;
+  }
+
+  /// True once any worker has observed global fixpoint.
+  bool Done() const { return done_.load(std::memory_order_acquire); }
+
+  /// Runs one detection round; on success latches Done for everyone.
+  bool CheckTermination() {
+    if (Done()) return true;
+    const uint64_t p1 = produced();
+    if (consumed_total() != p1) return false;
+    for (const auto& flag : active_) {
+      if (flag.v.load(std::memory_order_acquire)) return false;
+    }
+    // Re-read: if production happened while we scanned the flags, the
+    // snapshot was inconsistent and this round fails.
+    if (produced() != p1) return false;
+    done_.store(true, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  // Each per-worker counter/flag sits on its own cache line to avoid
+  // false sharing between workers that touch them every iteration.
+  struct alignas(64) PaddedCounter {
+    std::atomic<uint64_t> v;
+  };
+  struct alignas(64) PaddedFlag {
+    std::atomic<bool> v;
+  };
+
+  std::atomic<uint64_t> produced_{0};
+  std::vector<PaddedCounter> consumed_;
+  std::vector<PaddedFlag> active_;
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CONCURRENT_TERMINATION_H_

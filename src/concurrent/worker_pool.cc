@@ -1,0 +1,34 @@
+#include "concurrent/worker_pool.h"
+
+#include <algorithm>
+
+namespace dcdatalog {
+
+void RunWorkers(uint32_t num_workers,
+                const std::function<void(uint32_t)>& fn) {
+  if (num_workers == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&fn, w] { fn(w); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void ParallelFor(uint32_t num_workers, uint64_t n,
+                 const std::function<void(uint64_t, uint64_t)>& fn) {
+  if (n == 0) return;
+  num_workers = static_cast<uint32_t>(
+      std::min<uint64_t>(std::max<uint32_t>(num_workers, 1), n));
+  const uint64_t chunk = (n + num_workers - 1) / num_workers;
+  RunWorkers(num_workers, [&](uint32_t w) {
+    const uint64_t begin = w * chunk;
+    const uint64_t end = std::min(begin + chunk, n);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,25 @@
+#ifndef DCDATALOG_CONCURRENT_WORKER_POOL_H_
+#define DCDATALOG_CONCURRENT_WORKER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dcdatalog {
+
+/// Runs fn(worker_id) on `num_workers` dedicated threads and joins them all.
+/// The parallel evaluation of one Datalog program is a single such run —
+/// workers live for the whole fixpoint computation, so thread start-up cost
+/// is negligible and a persistent pool would only add complexity.
+void RunWorkers(uint32_t num_workers,
+                const std::function<void(uint32_t)>& fn);
+
+/// Simple static-partition parallel-for over [0, n): each worker handles a
+/// contiguous chunk. Used by loaders and generators.
+void ParallelFor(uint32_t num_workers, uint64_t n,
+                 const std::function<void(uint64_t begin, uint64_t end)>& fn);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CONCURRENT_WORKER_POOL_H_

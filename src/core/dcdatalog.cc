@@ -1,0 +1,83 @@
+#include "core/dcdatalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "planner/logical_plan.h"
+#include "planner/physical_plan.h"
+
+namespace dcdatalog {
+
+DCDatalog::DCDatalog(EngineOptions options)
+    : options_(options.Resolved()) {}
+
+DCDatalog::~DCDatalog() = default;
+
+Result<Relation*> DCDatalog::CreateRelation(const std::string& name,
+                                            Schema schema) {
+  return catalog_.Create(name, std::move(schema));
+}
+
+Relation* DCDatalog::AddGraph(const Graph& graph, const std::string& name,
+                              bool weighted) {
+  return catalog_.Put(weighted ? graph.ToWeightedArcRelation(name)
+                               : graph.ToArcRelation(name));
+}
+
+Status DCDatalog::LoadProgramText(std::string_view source) {
+  auto parsed = ParseProgram(source, &dict_);
+  if (!parsed.ok()) return parsed.status();
+  program_ = std::make_unique<Program>(std::move(parsed).value());
+  return Status::OK();
+}
+
+Status DCDatalog::LoadProgramFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open program file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadProgramText(buf.str());
+}
+
+Result<EvalStats> DCDatalog::Run() {
+  if (program_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  Engine engine(&catalog_, options_);
+  return engine.Run(*program_);
+}
+
+const Relation* DCDatalog::ResultFor(const std::string& name) const {
+  return catalog_.Find(name);
+}
+
+Result<std::string> DCDatalog::ExplainLogical() const {
+  if (program_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  DCD_ASSIGN_OR_RETURN(ProgramAnalysis analysis,
+                       ProgramAnalysis::Analyze(*program_, catalog_));
+  DCD_ASSIGN_OR_RETURN(std::vector<LogicalRulePlan> plans,
+                       BuildLogicalPlans(*program_, analysis));
+  std::ostringstream os;
+  os << analysis.ToString();
+  for (const LogicalRulePlan& plan : plans) os << plan.ToString() << "\n";
+  return os.str();
+}
+
+Result<std::string> DCDatalog::ExplainPhysical() const {
+  if (program_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  DCD_ASSIGN_OR_RETURN(ProgramAnalysis analysis,
+                       ProgramAnalysis::Analyze(*program_, catalog_));
+  DCD_ASSIGN_OR_RETURN(std::vector<LogicalRulePlan> logical,
+                       BuildLogicalPlans(*program_, analysis));
+  DCD_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       BuildPhysicalPlan(*program_, analysis, logical));
+  return plan.ToString();
+}
+
+}  // namespace dcdatalog

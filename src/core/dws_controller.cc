@@ -1,0 +1,91 @@
+#include "core/dws_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcdatalog {
+namespace {
+
+/// Keep the queueing model numerically sane: utilization is clamped below
+/// 1 (an overloaded queue has unbounded L_q; the timeout handles that
+/// regime), and ω is capped so a worker never waits for millions of tuples.
+constexpr double kMaxRho = 0.95;
+constexpr double kMaxOmega = 1 << 20;
+
+}  // namespace
+
+DwsController::DwsController(uint32_t num_sources,
+                             const EngineOptions& options)
+    : options_(options),
+      arrivals_(num_sources),
+      last_drain_ns_(num_sources, 0) {}
+
+void DwsController::OnDrain(uint32_t j, uint64_t n, int64_t now_ns) {
+  if (n == 0) return;
+  if (last_drain_ns_[j] != 0) {
+    const double interval_s =
+        static_cast<double>(now_ns - last_drain_ns_[j]) * 1e-9;
+    // n tuples arrived over the interval: approximate the per-tuple
+    // inter-arrival time by the interval mean.
+    arrivals_[j].Add(std::max(interval_s / static_cast<double>(n), 1e-12));
+    if (arrivals_[j].count() > 4096) arrivals_[j].Decay();
+  }
+  last_drain_ns_[j] = now_ns;
+}
+
+void DwsController::OnIteration(int64_t duration_ns, uint64_t tuples) {
+  const double per_tuple_s = static_cast<double>(duration_ns) * 1e-9 /
+                             static_cast<double>(std::max<uint64_t>(tuples, 1));
+  service_.Add(std::max(per_tuple_s, 1e-12));
+  if (service_.count() > 4096) service_.Decay();
+}
+
+void DwsController::Update(const std::vector<uint64_t>& buffer_sizes) {
+  omega_ = 0.0;
+  tau_ns_ = 0;
+  if (service_.count() == 0) return;  // No service estimate yet: don't wait.
+
+  // Equation (1): weight each source by its buffer occupancy |M_i^j|;
+  // sources with empty buffers get weight 1 so a quiet system still has a
+  // defined arrival process.
+  double weight_sum = 0.0;
+  double weighted_mean_sum = 0.0;   // Σ w_j · λ_j^{-1}
+  double weighted_second_sum = 0.0; // Σ w_j · (σ²_{a,j} + λ_j^{-2})
+  for (size_t j = 0; j < arrivals_.size(); ++j) {
+    const Welford& a = arrivals_[j];
+    if (a.count() == 0) continue;
+    const double w = buffer_sizes.empty()
+                         ? 1.0
+                         : static_cast<double>(buffer_sizes[j]) + 1.0;
+    const double mean = a.mean();  // = λ_j^{-1}
+    weight_sum += w;
+    weighted_mean_sum += w * mean;
+    weighted_second_sum += w * (a.variance() + mean * mean);
+  }
+  if (weight_sum == 0.0 || weighted_mean_sum <= 0.0) return;
+
+  const double inv_lambda = weighted_mean_sum / weight_sum;
+  lambda_ = 1.0 / inv_lambda;
+  const double sigma_a2 =
+      std::max(weighted_second_sum / weight_sum - inv_lambda * inv_lambda,
+               0.0);
+
+  const double inv_mu = service_.mean();
+  mu_ = 1.0 / inv_mu;
+  const double sigma_s2 = service_.variance();
+
+  // Kingman's formula, Equation (2).
+  rho_ = std::min(lambda_ / mu_, kMaxRho);
+  const double ca2 = lambda_ * lambda_ * sigma_a2;
+  const double cs2 = mu_ * mu_ * sigma_s2;
+  const double lq = rho_ * rho_ * (ca2 + cs2) / (2.0 * (1.0 - rho_));
+
+  omega_ = std::clamp(lq, 0.0, kMaxOmega);
+  const double tau_s = omega_ * inv_lambda;  // L_q / λ
+  const int64_t timeout_ns =
+      static_cast<int64_t>(options_.dws_timeout_us) * 1000;
+  tau_ns_ = std::clamp<int64_t>(static_cast<int64_t>(tau_s * 1e9), 0,
+                                timeout_ns);
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,67 @@
+#ifndef DCDATALOG_CORE_DWS_CONTROLLER_H_
+#define DCDATALOG_CORE_DWS_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/options.h"
+#include "common/welford.h"
+
+namespace dcdatalog {
+
+/// The weight-based decision machinery of DWS (paper §4.2). One instance
+/// per worker.
+///
+/// Each message buffer M_i^j feeds an arrival-process estimate (λ_j and
+/// σ²_a,j from inter-arrival samples); the worker's own iterations feed the
+/// service-process estimate (μ, σ²_s). Equation (1) combines the per-buffer
+/// arrival statistics weighted by current buffer occupancy; Kingman's
+/// formula — Equation (2) — estimates the mean queue length L_q, from which
+///   ω_i = L_q   (the delta-cardinality threshold), and
+///   τ_i = L_q/λ (the wait budget)
+/// are derived, exactly as §4.2 prescribes.
+class DwsController {
+ public:
+  DwsController(uint32_t num_sources, const EngineOptions& options);
+
+  /// Records a drain of `n` tuples from source `j` at monotonic time
+  /// `now_ns`. Zero-tuple drains leave the arrival clock running so sparse
+  /// sources accumulate long inter-arrival intervals.
+  void OnDrain(uint32_t j, uint64_t n, int64_t now_ns);
+
+  /// Records one local iteration: `duration_ns` spent deriving from
+  /// `tuples` delta tuples.
+  void OnIteration(int64_t duration_ns, uint64_t tuples);
+
+  /// Recomputes ω_i and τ_i from the current statistics (Algorithm 2
+  /// line 12). `buffer_sizes[j]` is the current occupancy |M_i^j|.
+  void Update(const std::vector<uint64_t>& buffer_sizes);
+
+  /// Delta-cardinality threshold: wait for more tuples while 0 < |δ| < ω.
+  double omega() const { return omega_; }
+
+  /// Wait budget in nanoseconds (clamped to the deadlock-avoidance
+  /// timeout).
+  int64_t tau_ns() const { return tau_ns_; }
+
+  // Introspection for tests.
+  double lambda() const { return lambda_; }
+  double mu() const { return mu_; }
+  double rho() const { return rho_; }
+
+ private:
+  const EngineOptions options_;
+  std::vector<Welford> arrivals_;      // Per-source inter-arrival (seconds).
+  std::vector<int64_t> last_drain_ns_;
+  Welford service_;                    // Per-tuple service time (seconds).
+
+  double omega_ = 0.0;
+  int64_t tau_ns_ = 0;
+  double lambda_ = 0.0;
+  double mu_ = 0.0;
+  double rho_ = 0.0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CORE_DWS_CONTROLLER_H_

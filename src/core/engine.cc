@@ -1,0 +1,598 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "concurrent/barrier.h"
+#include "concurrent/spsc_queue.h"
+#include "concurrent/termination.h"
+#include "concurrent/worker_pool.h"
+#include "core/dws_controller.h"
+#include "datalog/analysis.h"
+#include "planner/logical_plan.h"
+#include "runtime/base_index_set.h"
+#include "runtime/distributor.h"
+#include "runtime/message.h"
+#include "runtime/pipeline.h"
+#include "runtime/recursive_table.h"
+
+namespace dcdatalog {
+namespace {
+
+struct alignas(64) PaddedU64 {
+  std::atomic<uint64_t> v{0};
+};
+
+/// Runs one SCC of the plan with n workers under the configured strategy.
+class SccExecutor {
+ public:
+  SccExecutor(const PhysicalPlan& plan, const SccPlan& scc, Catalog* catalog,
+              BaseIndexSet* base_indexes, const EngineOptions& options,
+              uint32_t scc_ordinal = 0)
+      : plan_(plan),
+        scc_(scc),
+        catalog_(catalog),
+        base_indexes_(base_indexes),
+        options_(options),
+        n_(options.num_workers),
+        scc_ordinal_(scc_ordinal),
+        detector_(options.num_workers),
+        barrier_(options.num_workers),
+        ssp_iters_(options.num_workers) {
+    // Per-queue capacity shrinks as the worker grid grows so the n² rings
+    // stay within a sane memory budget.
+    const uint32_t per_queue = std::max<uint32_t>(
+        512, options_.spsc_capacity / std::max<uint32_t>(1, n_ / 8));
+    queues_.reserve(static_cast<size_t>(n_) * n_);
+    for (uint32_t i = 0; i < n_ * n_; ++i) {
+      queues_.push_back(std::make_unique<SpscQueue<WireMsg>>(per_queue));
+    }
+    worker_replicas_.resize(n_);
+    worker_stats_.resize(n_);
+  }
+
+  Status Run(EvalStats* stats) {
+    RunWorkers(n_, [this](uint32_t wid) { WorkerMain(wid); });
+    if (aborted_.load()) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_global_iterations (" +
+          std::to_string(options_.max_global_iterations) + ")");
+    }
+    MaterializeResults();
+    CollectStats(stats);
+    return Status::OK();
+  }
+
+ private:
+  struct WorkerStats {
+    std::vector<TraceEvent> trace;
+    uint64_t local_iterations = 0;
+    uint64_t tuples_routed = 0;
+    uint64_t tuples_folded = 0;
+    uint64_t tuples_emitted = 0;
+    uint64_t merges = 0;
+    uint64_t accepts = 0;
+    uint64_t cache_hits = 0;
+    int64_t idle_ns = 0;
+  };
+
+  /// Everything one worker thread owns while the SCC runs.
+  struct WorkerContext {
+    uint32_t wid = 0;
+    SccExecutor* exec = nullptr;
+    std::vector<std::unique_ptr<RecursiveTable>>* replicas = nullptr;
+    std::vector<uint64_t> regs;
+    std::unique_ptr<Distributor> distributor;
+    DwsController dws;
+    std::vector<std::vector<TupleBuf>> gather_scratch;  // Per replica.
+    std::vector<WireMsg> msg_scratch;
+    uint64_t local_iter = 0;
+    int64_t idle_ns = 0;
+    std::vector<TraceEvent> trace;
+
+    void Trace(TraceEvent::Kind kind, int64_t start_ns, int64_t end_ns,
+               uint64_t tuples, bool enabled, uint32_t scc) {
+      if (!enabled || trace.size() >= (1u << 20)) return;
+      TraceEvent ev;
+      ev.kind = kind;
+      ev.worker = wid;
+      ev.scc = scc;
+      ev.start_ns = start_ns;
+      ev.end_ns = end_ns;
+      ev.tuples = tuples;
+      trace.push_back(ev);
+    }
+
+    WorkerContext(uint32_t n, const EngineOptions& options)
+        : dws(n, options) {}
+  };
+
+  SpscQueue<WireMsg>& Queue(uint32_t from, uint32_t to) {
+    return *queues_[static_cast<size_t>(from) * n_ + to];
+  }
+
+  void WorkerMain(uint32_t wid) {
+    WorkerContext ctx(n_, options_);
+    ctx.wid = wid;
+    ctx.exec = this;
+
+    // Build this worker's replica partitions (first-touch local).
+    auto& replicas = worker_replicas_[wid];
+    for (const ReplicaSpec& spec : scc_.replicas) {
+      replicas.push_back(std::make_unique<RecursiveTable>(
+          spec.predicate, plan_.schemas.at(spec.predicate),
+          plan_.agg_specs.at(spec.predicate), spec.partition_col,
+          spec.needs_join_index, options_));
+    }
+    ctx.replicas = &replicas;
+    ctx.gather_scratch.resize(replicas.size());
+
+    // Register scratch sized for the widest rule.
+    uint32_t max_regs = 1;
+    for (const PhysicalRule& r : scc_.base_rules) {
+      max_regs = std::max(max_regs, r.num_regs);
+    }
+    for (const PhysicalRule& r : scc_.delta_rules) {
+      max_regs = std::max(max_regs, r.num_regs);
+    }
+    ctx.regs.assign(max_regs, 0);
+
+    ctx.distributor = std::make_unique<Distributor>(
+        &scc_, n_, options_.enable_partial_aggregation,
+        [this, &ctx](uint32_t dest, const WireMsg& msg) {
+          PushWithBackpressure(&ctx, dest, msg);
+        });
+
+    // Phase 0: base rules. Results flow through Distribute/Gather exactly
+    // like recursive derivations.
+    RunBaseRules(&ctx);
+    ctx.distributor->Flush();
+
+    // Phase 1: fixpoint loop under the coordination strategy. A
+    // non-recursive SCC has no delta rules; the same loops then simply
+    // drain the buffers and detect termination.
+    switch (options_.coordination) {
+      case CoordinationMode::kGlobal:
+        GlobalLoop(&ctx);
+        break;
+      case CoordinationMode::kSsp:
+        SspLoop(&ctx);
+        break;
+      case CoordinationMode::kDws:
+        DwsLoop(&ctx);
+        break;
+    }
+
+    // Collect per-worker statistics.
+    WorkerStats& ws = worker_stats_[wid];
+    ws.local_iterations = ctx.local_iter;
+    ws.idle_ns = ctx.idle_ns;
+    ws.trace = std::move(ctx.trace);
+    ws.tuples_routed = ctx.distributor->tuples_routed();
+    ws.tuples_folded = ctx.distributor->tuples_folded();
+    ws.tuples_emitted = ctx.distributor->tuples_emitted();
+    for (const auto& table : replicas) {
+      ws.merges += table->merges();
+      ws.accepts += table->accepts();
+      ws.cache_hits += table->cache_hits();
+    }
+  }
+
+  void RunBaseRules(WorkerContext* ctx) {
+    PipelineContext pctx;
+    pctx.catalog = catalog_;
+    pctx.base_indexes = base_indexes_;
+    pctx.replicas = ctx->replicas;
+    pctx.regs = ctx->regs.data();
+
+    for (const PhysicalRule& rule : scc_.base_rules) {
+      const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
+        uint64_t wire[kMaxWireWords];
+        BuildWireTuple(rule.head, regs, wire);
+        ctx->distributor->Emit(rule.head, wire);
+      };
+      if (rule.driving_is_unit) {
+        if (ctx->wid == 0) RunPipelineUnit(rule, pctx, emit);
+        continue;
+      }
+      const Relation* rel = catalog_->Find(rule.driving_relation);
+      DCD_CHECK(rel != nullptr);
+      const uint64_t size = rel->size();
+      const uint64_t begin = size * ctx->wid / n_;
+      const uint64_t end = size * (ctx->wid + 1) / n_;
+      for (uint64_t r = begin; r < end; ++r) {
+        RunPipelineForTuple(rule, pctx, rel->Row(r), emit);
+      }
+    }
+  }
+
+  /// Drains every incoming buffer once and merges into the replicas.
+  /// Returns the number of messages consumed.
+  uint64_t GatherAll(WorkerContext* ctx) {
+    uint64_t total = 0;
+    const int64_t now = MonotonicNanos();
+    for (uint32_t j = 0; j < n_; ++j) {
+      ctx->msg_scratch.clear();
+      Queue(j, ctx->wid).PopBatch(&ctx->msg_scratch);
+      ctx->dws.OnDrain(j, ctx->msg_scratch.size(), now);
+      for (const WireMsg& msg : ctx->msg_scratch) {
+        TupleBuf buf;
+        std::memcpy(buf.v, msg.w, sizeof(msg.w));
+        ctx->gather_scratch[msg.tag].push_back(buf);
+      }
+      total += ctx->msg_scratch.size();
+    }
+    for (size_t r = 0; r < ctx->gather_scratch.size(); ++r) {
+      auto& batch = ctx->gather_scratch[r];
+      if (batch.empty()) continue;
+      (*ctx->replicas)[r]->MergeBatch(batch);
+      batch.clear();
+    }
+    if (total > 0) detector_.AddConsumed(ctx->wid, total);
+    return total;
+  }
+
+  void PushWithBackpressure(WorkerContext* ctx, uint32_t dest,
+                            const WireMsg& msg) {
+    SpscQueue<WireMsg>& q = Queue(ctx->wid, dest);
+    while (!q.TryPush(msg)) {
+      // Full ring: drain our own inputs (making space for workers that are
+      // blocked pushing to us) and retry. This cannot livelock — every
+      // worker's drain frees someone else's producer.
+      if (GatherAll(ctx) == 0) std::this_thread::yield();
+      if (aborted_.load(std::memory_order_relaxed)) return;
+    }
+    detector_.AddProduced(1);
+    detector_.Activate(dest);
+  }
+
+  uint64_t DeltaTotal(const WorkerContext& ctx) const {
+    uint64_t total = 0;
+    for (const auto& table : *ctx.replicas) total += table->delta_size();
+    return total;
+  }
+
+  /// One local semi-naive iteration: snapshot the deltas, run every delta
+  /// rule against its driving snapshot, flush the distributor.
+  void LocalIteration(WorkerContext* ctx) {
+    const int64_t start = MonotonicNanos();
+    std::vector<std::vector<TupleBuf>> snapshots(ctx->replicas->size());
+    uint64_t processed = 0;
+    for (size_t r = 0; r < ctx->replicas->size(); ++r) {
+      snapshots[r] = (*ctx->replicas)[r]->TakeDelta();
+      processed += snapshots[r].size();
+    }
+
+    PipelineContext pctx;
+    pctx.catalog = catalog_;
+    pctx.base_indexes = base_indexes_;
+    pctx.replicas = ctx->replicas;
+    pctx.regs = ctx->regs.data();
+
+    for (const PhysicalRule& rule : scc_.delta_rules) {
+      const auto& snapshot = snapshots[rule.driving_replica];
+      if (snapshot.empty()) continue;
+      const uint32_t arity =
+          (*ctx->replicas)[rule.driving_replica]->stored_arity();
+      const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
+        uint64_t wire[kMaxWireWords];
+        BuildWireTuple(rule.head, regs, wire);
+        ctx->distributor->Emit(rule.head, wire);
+      };
+      for (const TupleBuf& tuple : snapshot) {
+        RunPipelineForTuple(rule, pctx, tuple.Ref(arity), emit);
+      }
+    }
+    ctx->distributor->Flush();
+    const int64_t end = MonotonicNanos();
+    ctx->dws.OnIteration(end - start, processed);
+    ctx->Trace(TraceEvent::Kind::kIteration, start, end, processed,
+               options_.enable_trace, scc_ordinal_);
+    ++ctx->local_iter;
+    if (options_.max_global_iterations != 0 &&
+        ctx->local_iter > options_.max_global_iterations) {
+      aborted_.store(true, std::memory_order_release);
+    }
+  }
+
+  bool Aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Parks the worker at its local fixpoint until new input arrives or the
+  /// global fixpoint is detected. Returns false when evaluation is over.
+  bool InactiveWait(WorkerContext* ctx) {
+    const int64_t park_start = MonotonicNanos();
+    const auto park_end = [this, ctx, park_start] {
+      const int64_t now = MonotonicNanos();
+      ctx->idle_ns += now - park_start;
+      ctx->Trace(TraceEvent::Kind::kIdle, park_start, now, 0,
+                 options_.enable_trace, scc_ordinal_);
+    };
+    while (true) {
+      if (Aborted()) {
+        park_end();
+        return false;
+      }
+      GatherAll(ctx);
+      if (DeltaTotal(*ctx) > 0) {
+        detector_.Activate(ctx->wid);
+        park_end();
+        return true;
+      }
+      // Producers re-activate us on every push (Algorithm 2 line 15), and
+      // the pushed tuples may all be duplicates — so the flag must be
+      // cleared again after every drain that leaves the delta empty, or
+      // the global-fixpoint check could never pass.
+      detector_.Deactivate(ctx->wid);
+      if (detector_.CheckTermination()) {
+        park_end();
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // --- Strategy loops -----------------------------------------------------
+
+  /// Algorithm 1: a barrier after every global iteration. Fast workers idle
+  /// until the slowest arrives — the overhead DWS exists to remove.
+  void GlobalLoop(WorkerContext* ctx) {
+    // A waiter at either barrier keeps draining its inbound buffers so
+    // producers blocked on a full ring always make progress.
+    const auto drain_idle = [this, ctx] { GatherAll(ctx); };
+    // Everyone finishes the base phase before round 1.
+    {
+      const int64_t t0 = MonotonicNanos();
+      barrier_.Wait([] {}, drain_idle);
+      ctx->idle_ns += MonotonicNanos() - t0;
+    }
+    while (true) {
+      GatherAll(ctx);
+      const uint64_t delta = DeltaTotal(*ctx);
+      round_delta_.fetch_add(delta, std::memory_order_acq_rel);
+      const int64_t t0 = MonotonicNanos();
+      barrier_.Wait(
+          [this] {
+            // The abort check lives in the serial section so every worker
+            // leaves the barrier protocol in the same round.
+            global_done_.store(round_delta_.load(std::memory_order_acquire) ==
+                                       0 ||
+                                   Aborted(),
+                               std::memory_order_release);
+            round_delta_.store(0, std::memory_order_release);
+          },
+          drain_idle);
+      {
+        const int64_t now = MonotonicNanos();
+        ctx->idle_ns += now - t0;
+        ctx->Trace(TraceEvent::Kind::kIdle, t0, now, 0,
+                   options_.enable_trace, scc_ordinal_);
+      }
+      if (global_done_.load(std::memory_order_acquire)) return;
+      if (delta > 0) LocalIteration(ctx);
+      const int64_t t1 = MonotonicNanos();
+      barrier_.Wait([] {}, drain_idle);
+      {
+        const int64_t now = MonotonicNanos();
+        ctx->idle_ns += now - t1;
+        ctx->Trace(TraceEvent::Kind::kIdle, t1, now, 0,
+                   options_.enable_trace, scc_ordinal_);
+      }
+    }
+  }
+
+  /// Stale-synchronous parallel: a worker may run at most `ssp_slack` local
+  /// iterations ahead of the slowest active worker (paper §4.1 / [14]).
+  void SspLoop(WorkerContext* ctx) {
+    while (!Aborted()) {
+      GatherAll(ctx);
+      if (DeltaTotal(*ctx) == 0) {
+        ssp_iters_[ctx->wid].v.store(UINT64_MAX, std::memory_order_release);
+        if (!InactiveWait(ctx)) return;
+        ssp_iters_[ctx->wid].v.store(ctx->local_iter,
+                                     std::memory_order_release);
+        continue;
+      }
+      // Slack check against the slowest active worker.
+      const int64_t slack_start = MonotonicNanos();
+      while (!Aborted()) {
+        const uint64_t min_iter = MinActiveIteration();
+        if (min_iter == UINT64_MAX ||
+            ctx->local_iter <= min_iter + options_.ssp_slack) {
+          break;
+        }
+        GatherAll(ctx);  // Keep collecting while blocked.
+        if (detector_.Done()) {
+          {
+        const int64_t now = MonotonicNanos();
+        ctx->idle_ns += now - slack_start;
+        ctx->Trace(TraceEvent::Kind::kIdle, slack_start, now, 0,
+                   options_.enable_trace, scc_ordinal_);
+      }
+          return;
+        }
+        std::this_thread::yield();
+      }
+      {
+        const int64_t now = MonotonicNanos();
+        ctx->idle_ns += now - slack_start;
+        ctx->Trace(TraceEvent::Kind::kIdle, slack_start, now, 0,
+                   options_.enable_trace, scc_ordinal_);
+      }
+      LocalIteration(ctx);
+      ssp_iters_[ctx->wid].v.store(ctx->local_iter,
+                                   std::memory_order_release);
+    }
+  }
+
+  uint64_t MinActiveIteration() const {
+    uint64_t min_iter = UINT64_MAX;
+    for (uint32_t j = 0; j < n_; ++j) {
+      const uint64_t it = ssp_iters_[j].v.load(std::memory_order_acquire);
+      min_iter = std::min(min_iter, it);
+    }
+    return min_iter;
+  }
+
+  /// Algorithm 2: the Dynamic Weight-based Strategy. After gathering, a
+  /// worker with a small delta (0 < |δ| < ω) waits up to τ for more tuples
+  /// before iterating; ω and τ come from the queueing model.
+  void DwsLoop(WorkerContext* ctx) {
+    while (!Aborted()) {
+      GatherAll(ctx);
+      uint64_t delta = DeltaTotal(*ctx);
+      if (delta == 0) {
+        if (!InactiveWait(ctx)) return;
+        delta = DeltaTotal(*ctx);
+      }
+      // Lines 5–8: bounded wait while the delta is small.
+      const int64_t budget_ns =
+          static_cast<int64_t>(options_.dws_timeout_us) * 1000;
+      const int64_t wait_start = MonotonicNanos();
+      while (delta > 0 &&
+             delta < static_cast<uint64_t>(ctx->dws.omega()) &&
+             !Aborted()) {
+        const int64_t waited = MonotonicNanos() - wait_start;
+        if (waited >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            options_.dws_max_wait_slice_us));
+        GatherAll(ctx);
+        delta = DeltaTotal(*ctx);
+      }
+      {
+        const int64_t now = MonotonicNanos();
+        ctx->idle_ns += now - wait_start;
+        ctx->Trace(TraceEvent::Kind::kIdle, wait_start, now, 0,
+                   options_.enable_trace, scc_ordinal_);
+      }
+      if (delta == 0) continue;
+      // Line 12: refresh ω and τ from current statistics, then iterate.
+      UpdateDws(ctx);
+      LocalIteration(ctx);
+    }
+  }
+
+  void UpdateDws(WorkerContext* ctx) {
+    std::vector<uint64_t> sizes(n_);
+    for (uint32_t j = 0; j < n_; ++j) {
+      sizes[j] = Queue(j, ctx->wid).SizeApprox();
+    }
+    ctx->dws.Update(sizes);
+  }
+
+  // --- Finalization -------------------------------------------------------
+
+  void MaterializeResults() {
+    for (const std::string& pred : scc_.derived_preds) {
+      const std::vector<int> replica_ids = scc_.ReplicasOf(pred);
+      DCD_CHECK(!replica_ids.empty());
+      const int canonical = replica_ids.front();
+      Relation merged(pred, plan_.schemas.at(pred));
+      for (uint32_t w = 0; w < n_; ++w) {
+        merged.AppendAll(worker_replicas_[w][canonical]->rows());
+      }
+      catalog_->Put(std::move(merged));
+    }
+  }
+
+  void CollectStats(EvalStats* stats) {
+    for (const WorkerStats& ws : worker_stats_) {
+      stats->total_local_iterations += ws.local_iterations;
+      stats->max_local_iterations =
+          std::max(stats->max_local_iterations, ws.local_iterations);
+      stats->tuples_routed += ws.tuples_routed;
+      stats->tuples_folded += ws.tuples_folded;
+      stats->tuples_emitted += ws.tuples_emitted;
+      stats->merges += ws.merges;
+      stats->accepts += ws.accepts;
+      stats->cache_hits += ws.cache_hits;
+      stats->idle_wait_seconds += static_cast<double>(ws.idle_ns) * 1e-9;
+      stats->trace.insert(stats->trace.end(), ws.trace.begin(),
+                          ws.trace.end());
+    }
+  }
+
+  const PhysicalPlan& plan_;
+  const SccPlan& scc_;
+  Catalog* catalog_;
+  BaseIndexSet* base_indexes_;
+  const EngineOptions& options_;
+  const uint32_t n_;
+  const uint32_t scc_ordinal_ = 0;
+
+  std::vector<std::unique_ptr<SpscQueue<WireMsg>>> queues_;
+  TerminationDetector detector_;
+  SpinBarrier barrier_;
+  std::atomic<uint64_t> round_delta_{0};
+  std::atomic<bool> global_done_{false};
+  std::vector<PaddedU64> ssp_iters_;
+  std::atomic<bool> aborted_{false};
+
+  std::vector<std::vector<std::unique_ptr<RecursiveTable>>> worker_replicas_;
+  std::vector<WorkerStats> worker_stats_;
+};
+
+}  // namespace
+
+std::string EvalStats::ToString() const {
+  std::ostringstream os;
+  os << "EvalStats{" << seconds << "s, sccs=" << num_sccs
+     << ", local_iters(total=" << total_local_iterations
+     << ", max=" << max_local_iterations << ")"
+     << ", routed=" << tuples_routed << ", folded=" << tuples_folded
+     << ", merges=" << merges << ", accepts=" << accepts
+     << ", cache_hits=" << cache_hits
+     << ", idle_wait=" << idle_wait_seconds << "s}";
+  return os.str();
+}
+
+Result<EvalStats> Engine::Run(const Program& program) {
+  DCD_ASSIGN_OR_RETURN(ProgramAnalysis analysis,
+                       ProgramAnalysis::Analyze(program, *catalog_));
+  DCD_ASSIGN_OR_RETURN(std::vector<LogicalRulePlan> logical,
+                       BuildLogicalPlans(program, analysis));
+  DCD_ASSIGN_OR_RETURN(PhysicalPlan plan,
+                       BuildPhysicalPlan(program, analysis, logical));
+  return RunPlan(plan);
+}
+
+Result<EvalStats> Engine::RunPlan(const PhysicalPlan& plan) {
+  WallTimer timer;
+  EvalStats stats;
+  BaseIndexSet base_indexes(plan.base_indexes);
+
+  for (const SccPlan& scc : plan.sccs) {
+    // Build indexes this SCC probes; inputs from earlier SCCs are
+    // materialized by now.
+    for (const PhysicalRule& rule : scc.base_rules) {
+      for (const Step& step : rule.steps) {
+        if (step.base_index_id >= 0) {
+          DCD_RETURN_IF_ERROR(
+              base_indexes.EnsureBuilt(step.base_index_id, *catalog_));
+        }
+      }
+    }
+    for (const PhysicalRule& rule : scc.delta_rules) {
+      for (const Step& step : rule.steps) {
+        if (step.base_index_id >= 0) {
+          DCD_RETURN_IF_ERROR(
+              base_indexes.EnsureBuilt(step.base_index_id, *catalog_));
+        }
+      }
+    }
+
+    SccExecutor executor(plan, scc, catalog_, &base_indexes, options_,
+                         static_cast<uint32_t>(stats.num_sccs));
+    DCD_RETURN_IF_ERROR(executor.Run(&stats));
+    ++stats.num_sccs;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,78 @@
+#ifndef DCDATALOG_CORE_ENGINE_H_
+#define DCDATALOG_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/string_dict.h"
+#include "datalog/ast.h"
+#include "planner/physical_plan.h"
+#include "storage/catalog.h"
+
+namespace dcdatalog {
+
+/// One traced execution span (EngineOptions::enable_trace). Times are raw
+/// monotonic nanoseconds; normalize against the run's minimum.
+struct TraceEvent {
+  enum class Kind : uint8_t { kIteration, kIdle };
+  Kind kind = Kind::kIteration;
+  uint32_t worker = 0;
+  uint32_t scc = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  uint64_t tuples = 0;  // Delta tuples processed (iterations only).
+};
+
+/// Counters describing one evaluation run.
+struct EvalStats {
+  double seconds = 0.0;
+  uint64_t num_sccs = 0;
+  uint64_t total_local_iterations = 0;  // Summed over workers and SCCs.
+  uint64_t max_local_iterations = 0;    // Slowest worker's count, any SCC.
+  uint64_t tuples_routed = 0;           // Pushed into message buffers.
+  uint64_t tuples_folded = 0;           // Removed by partial aggregation.
+  uint64_t tuples_emitted = 0;          // Derivations handed to Distribute.
+  uint64_t merges = 0;                  // Wire tuples offered to Gather.
+  uint64_t accepts = 0;                 // ... that changed a table.
+  uint64_t cache_hits = 0;              // Existence-cache fast paths.
+  /// Cumulative time workers spent blocked in coordination — barrier spins
+  /// (Global), slack waits (SSP), ω/τ waits and inactive parking (DWS).
+  /// This is the quantity the coordination strategies trade off; on
+  /// machines with fewer cores than workers it is the observable signal
+  /// (wall time alone hides it because the OS reuses blocked slices).
+  double idle_wait_seconds = 0.0;
+
+  /// Populated only when EngineOptions::enable_trace is set.
+  std::vector<TraceEvent> trace;
+
+  std::string ToString() const;
+};
+
+/// The DCDatalog execution engine: evaluates a compiled physical plan over
+/// a catalog, SCC by SCC, running each recursive SCC with the configured
+/// coordination strategy (Global / SSP / DWS). Results are materialized
+/// back into the catalog under their predicate names.
+class Engine {
+ public:
+  Engine(Catalog* catalog, EngineOptions options)
+      : catalog_(catalog), options_(options.Resolved()) {}
+
+  /// Parses nothing — takes an analyzed program, plans and runs it.
+  Result<EvalStats> Run(const Program& program);
+
+  /// Runs an already-built physical plan.
+  Result<EvalStats> RunPlan(const PhysicalPlan& plan);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Catalog* catalog_;
+  EngineOptions options_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CORE_ENGINE_H_

@@ -1,0 +1,468 @@
+#include "core/reference.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.h"
+#include "datalog/analysis.h"
+
+namespace dcdatalog {
+namespace {
+
+using Row = std::vector<uint64_t>;
+
+/// Typed binding environment for one rule instantiation.
+using Env = std::map<std::string, Value>;
+
+Value EvalAstExpr(const Expr& e, const Env& env) {
+  switch (e.op) {
+    case ExprOp::kVar: {
+      auto it = env.find(e.var);
+      DCD_CHECK(it != env.end());
+      return it->second;
+    }
+    case ExprOp::kConst:
+      return e.constant;
+    case ExprOp::kToDouble:
+      return Value::Double(EvalAstExpr(*e.lhs, env).AsDouble());
+    case ExprOp::kNeg: {
+      Value v = EvalAstExpr(*e.lhs, env);
+      return v.type == ColumnType::kDouble ? Value::Double(-v.AsDouble())
+                                           : Value::Int(-v.AsInt());
+    }
+    default: {
+      Value l = EvalAstExpr(*e.lhs, env);
+      Value r = EvalAstExpr(*e.rhs, env);
+      const bool dbl = l.type == ColumnType::kDouble ||
+                       r.type == ColumnType::kDouble;
+      if (dbl) {
+        const double a = l.AsDouble();
+        const double b = r.AsDouble();
+        switch (e.op) {
+          case ExprOp::kAdd:
+            return Value::Double(a + b);
+          case ExprOp::kSub:
+            return Value::Double(a - b);
+          case ExprOp::kMul:
+            return Value::Double(a * b);
+          case ExprOp::kDiv:
+            return Value::Double(a / b);
+          default:
+            break;
+        }
+      }
+      const int64_t a = l.AsInt();
+      const int64_t b = r.AsInt();
+      switch (e.op) {
+        case ExprOp::kAdd:
+          return Value::Int(a + b);
+        case ExprOp::kSub:
+          return Value::Int(a - b);
+        case ExprOp::kMul:
+          return Value::Int(a * b);
+        case ExprOp::kDiv:
+          return Value::Int(b == 0 ? 0 : a / b);  // Matches engine semantics.
+        default:
+          break;
+      }
+      DCD_CHECK(false);
+      return Value::Int(0);
+    }
+  }
+}
+
+bool EvalAstCompare(const Constraint& c, const Env& env) {
+  const Value l = EvalAstExpr(*c.lhs, env);
+  const Value r = EvalAstExpr(*c.rhs, env);
+  switch (c.op) {
+    case CmpOp::kEq:
+      return l == r;
+    case CmpOp::kNe:
+      return l != r;
+    case CmpOp::kLt:
+      return l < r;
+    case CmpOp::kLe:
+      return l <= r;
+    case CmpOp::kGt:
+      return l > r;
+    case CmpOp::kGe:
+      return l >= r;
+  }
+  return false;
+}
+
+/// State of one predicate during naive evaluation.
+struct PredState {
+  AggFunc func = AggFunc::kNone;
+  uint32_t arity = 0;
+  ColumnType value_type = ColumnType::kInt;
+  std::vector<ColumnType> col_types;
+
+  std::set<Row> tuples;                  // kNone
+  std::map<Row, uint64_t> groups;        // aggregates: group → value word
+  std::map<Row, std::map<uint64_t, uint64_t>> contribs;  // count/sum
+
+  /// Enumerates the current extension as full rows.
+  std::vector<Row> Snapshot() const {
+    std::vector<Row> out;
+    if (func == AggFunc::kNone) {
+      out.assign(tuples.begin(), tuples.end());
+      return out;
+    }
+    out.reserve(groups.size());
+    for (const auto& [group, value] : groups) {
+      Row row = group;
+      row.push_back(value);
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  bool BetterValue(uint64_t candidate, uint64_t current) const {
+    if (value_type == ColumnType::kDouble) {
+      return func == AggFunc::kMin
+                 ? DoubleFromWord(candidate) < DoubleFromWord(current)
+                 : DoubleFromWord(candidate) > DoubleFromWord(current);
+    }
+    return func == AggFunc::kMin
+               ? IntFromWord(candidate) < IntFromWord(current)
+               : IntFromWord(candidate) > IntFromWord(current);
+  }
+};
+
+class ReferenceRun {
+ public:
+  ReferenceRun(const Program& program, const ProgramAnalysis& analysis,
+               const Catalog& catalog, double sum_epsilon,
+               uint64_t max_rounds)
+      : program_(program),
+        analysis_(analysis),
+        sum_epsilon_(sum_epsilon),
+        max_rounds_(max_rounds) {
+    for (const auto& [name, info] : analysis.predicates()) {
+      PredState& state = preds_[name];
+      state.arity = info.arity;
+      state.col_types = info.column_types;
+      if (!info.is_edb) {
+        for (const Rule& rule : program.rules) {
+          if (rule.head.predicate != name) continue;
+          for (const HeadArg& arg : rule.head.args) {
+            if (arg.agg != AggFunc::kNone) state.func = arg.agg;
+          }
+          break;
+        }
+        if (state.func != AggFunc::kNone) {
+          state.value_type = info.column_types[info.arity - 1];
+        }
+      } else {
+        const Relation* rel = catalog.Find(name);
+        DCD_CHECK(rel != nullptr);
+        for (uint64_t r = 0; r < rel->size(); ++r) {
+          TupleRef row = rel->Row(r);
+          state.tuples.insert(Row(row.data, row.data + row.arity));
+        }
+      }
+    }
+  }
+
+  Result<std::map<std::string, Relation>> Run() {
+    // Stratified naive evaluation: SCCs in dependency order (negated
+    // predicates are complete before any rule reads them), each swept to
+    // its own fixpoint.
+    for (size_t s = 0; s < analysis_.sccs().size(); ++s) {
+      std::vector<const Rule*> scc_rules;
+      for (size_t r = 0; r < program_.rules.size(); ++r) {
+        if (analysis_.rule_infos()[r].head_scc == static_cast<int>(s)) {
+          scc_rules.push_back(&program_.rules[r]);
+        }
+      }
+      if (scc_rules.empty()) continue;
+      bool converged = false;
+      for (uint64_t round = 0; round < max_rounds_; ++round) {
+        changed_ = false;
+        for (const Rule* rule : scc_rules) EvaluateRule(*rule);
+        if (!changed_) {
+          converged = true;
+          break;
+        }
+      }
+      if (!converged) {
+        return Status::ResourceExhausted(
+            "reference evaluation did not reach fixpoint within max_rounds");
+      }
+    }
+    return Materialize();
+  }
+
+ private:
+  void EvaluateRule(const Rule& rule) {
+    // Take snapshots so derivations within the sweep see a stable view.
+    std::vector<const BodyLiteral*> atoms;
+    std::vector<const BodyLiteral*> constraints;
+    std::vector<const BodyLiteral*> negated;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) {
+        constraints.push_back(&lit);
+      } else if (lit.negated) {
+        negated.push_back(&lit);
+      } else {
+        atoms.push_back(&lit);
+      }
+    }
+    std::vector<std::vector<Row>> extents(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      extents[i] = preds_[atoms[i]->atom.predicate].Snapshot();
+    }
+    Env env;
+    Enumerate(rule, atoms, constraints, negated, extents, 0, &env);
+  }
+
+  /// True iff some tuple of the predicate matches the (fully bound)
+  /// negated atom under `env`. Wildcards match anything.
+  bool NegatedAtomHolds(const Atom& atom, const Env& env) {
+    for (const Row& row : preds_[atom.predicate].Snapshot()) {
+      bool match = true;
+      for (size_t c = 0; c < atom.args.size() && match; ++c) {
+        const Term& t = atom.args[c];
+        switch (t.kind) {
+          case TermKind::kWildcard:
+            break;
+          case TermKind::kConstant:
+            match = row[c] == t.constant.word;
+            break;
+          case TermKind::kVariable:
+            match = env.at(t.var).word == row[c];
+            break;
+        }
+      }
+      if (match) return true;
+    }
+    return false;
+  }
+
+  /// Applies every not-yet-applied constraint that is currently evaluable;
+  /// returns false if some evaluable constraint fails. `applied` tracks
+  /// placement across the recursion level.
+  bool ApplyConstraints(const std::vector<const BodyLiteral*>& constraints,
+                        std::vector<bool>* applied, Env* env,
+                        std::vector<std::string>* bound_here) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (size_t i = 0; i < constraints.size(); ++i) {
+        if ((*applied)[i]) continue;
+        const Constraint& c = constraints[i]->constraint;
+        // Binding form: Var = expr with Var unbound, expr evaluable.
+        auto evaluable = [&](const Expr& e) {
+          std::vector<std::string> vars;
+          e.CollectVars(&vars);
+          for (const auto& v : vars) {
+            if (env->count(v) == 0) return false;
+          }
+          return true;
+        };
+        if (c.op == CmpOp::kEq && c.lhs->op == ExprOp::kVar &&
+            env->count(c.lhs->var) == 0 && evaluable(*c.rhs)) {
+          (*env)[c.lhs->var] = EvalAstExpr(*c.rhs, *env);
+          bound_here->push_back(c.lhs->var);
+          (*applied)[i] = true;
+          progressed = true;
+        } else if (c.op == CmpOp::kEq && c.rhs->op == ExprOp::kVar &&
+                   env->count(c.rhs->var) == 0 && evaluable(*c.lhs)) {
+          (*env)[c.rhs->var] = EvalAstExpr(*c.lhs, *env);
+          bound_here->push_back(c.rhs->var);
+          (*applied)[i] = true;
+          progressed = true;
+        } else if (evaluable(*c.lhs) && evaluable(*c.rhs)) {
+          (*applied)[i] = true;
+          progressed = true;
+          if (!EvalAstCompare(c, *env)) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Enumerate(const Rule& rule,
+                 const std::vector<const BodyLiteral*>& atoms,
+                 const std::vector<const BodyLiteral*>& constraints,
+                 const std::vector<const BodyLiteral*>& negated,
+                 const std::vector<std::vector<Row>>& extents, size_t depth,
+                 Env* env) {
+    if (depth == atoms.size()) {
+      // All positive atoms matched; apply constraints, then negation.
+      std::vector<std::string> bound_here;
+      Env final_env = *env;  // Constraints may bind fresh vars.
+      std::vector<bool> applied(constraints.size(), false);
+      if (!ApplyConstraints(constraints, &applied, &final_env,
+                            &bound_here)) {
+        return;
+      }
+      for (size_t i = 0; i < constraints.size(); ++i) {
+        DCD_CHECK(applied[i]);  // Safety analysis guarantees evaluability.
+      }
+      for (const BodyLiteral* lit : negated) {
+        if (NegatedAtomHolds(lit->atom, final_env)) return;
+      }
+      EmitHead(rule, final_env);
+      return;
+    }
+    const Atom& atom = atoms[depth]->atom;
+    const std::vector<ColumnType>& types =
+        preds_[atom.predicate].col_types;
+    for (const Row& row : extents[depth]) {
+      std::vector<std::string> bound_here;
+      bool ok = true;
+      for (size_t c = 0; c < atom.args.size() && ok; ++c) {
+        const Term& t = atom.args[c];
+        switch (t.kind) {
+          case TermKind::kWildcard:
+            break;
+          case TermKind::kConstant:
+            ok = row[c] == t.constant.word;
+            break;
+          case TermKind::kVariable: {
+            auto it = env->find(t.var);
+            if (it != env->end()) {
+              ok = it->second.word == row[c];
+            } else {
+              (*env)[t.var] = Value{types[c], row[c]};
+              bound_here.push_back(t.var);
+            }
+            break;
+          }
+        }
+      }
+      if (ok) {
+        Enumerate(rule, atoms, constraints, negated, extents, depth + 1, env);
+      }
+      for (const std::string& v : bound_here) env->erase(v);
+    }
+  }
+
+  void EmitHead(const Rule& rule, const Env& env) {
+    PredState& state = preds_[rule.head.predicate];
+    auto term_word = [&](const Term& t, ColumnType target) -> uint64_t {
+      Value v = t.kind == TermKind::kConstant ? t.constant
+                                              : env.at(t.var);
+      if (target == ColumnType::kDouble && v.type != ColumnType::kDouble) {
+        return WordFromDouble(v.AsDouble());
+      }
+      return v.word;
+    };
+
+    if (state.func == AggFunc::kNone) {
+      Row row(state.arity);
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        row[i] = term_word(rule.head.args[i].term(), state.col_types[i]);
+      }
+      if (state.tuples.insert(std::move(row)).second) changed_ = true;
+      return;
+    }
+
+    Row group(state.arity - 1);
+    for (uint32_t i = 0; i + 1 < state.arity; ++i) {
+      group[i] = term_word(rule.head.args[i].term(), state.col_types[i]);
+    }
+    const HeadArg& agg_arg = rule.head.args.back();
+    switch (state.func) {
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const uint64_t value =
+            term_word(agg_arg.terms[0], state.value_type);
+        auto [it, inserted] = state.groups.try_emplace(group, value);
+        if (inserted) {
+          changed_ = true;
+        } else if (state.BetterValue(value, it->second)) {
+          it->second = value;
+          changed_ = true;
+        }
+        break;
+      }
+      case AggFunc::kCount: {
+        const uint64_t contributor =
+            term_word(agg_arg.terms[0], ColumnType::kInt);
+        auto& contribs = state.contribs[group];
+        if (contribs.emplace(contributor, 1).second) {
+          state.groups[group] =
+              WordFromInt(static_cast<int64_t>(contribs.size()));
+          changed_ = true;
+        }
+        break;
+      }
+      case AggFunc::kSum: {
+        const uint64_t contributor =
+            term_word(agg_arg.terms[0], ColumnType::kInt);
+        const uint64_t value = term_word(agg_arg.terms[1], state.value_type);
+        auto& contribs = state.contribs[group];
+        const bool dbl = state.value_type == ColumnType::kDouble;
+        auto it = contribs.find(contributor);
+        double delta_d = 0;
+        int64_t delta_i = 0;
+        if (it == contribs.end()) {
+          contribs.emplace(contributor, value);
+          if (dbl) {
+            delta_d = DoubleFromWord(value);
+          } else {
+            delta_i = IntFromWord(value);
+          }
+        } else {
+          if (dbl) {
+            delta_d = DoubleFromWord(value) - DoubleFromWord(it->second);
+            if (std::fabs(delta_d) <= sum_epsilon_) return;
+          } else {
+            delta_i = IntFromWord(value) - IntFromWord(it->second);
+            if (delta_i == 0) return;
+          }
+          it->second = value;
+        }
+        auto [git, inserted] = state.groups.try_emplace(
+            group, dbl ? WordFromDouble(delta_d) : WordFromInt(delta_i));
+        if (!inserted) {
+          git->second = dbl ? WordFromDouble(DoubleFromWord(git->second) +
+                                             delta_d)
+                            : WordFromInt(IntFromWord(git->second) + delta_i);
+        }
+        changed_ = true;
+        break;
+      }
+      case AggFunc::kNone:
+        break;
+    }
+  }
+
+  Result<std::map<std::string, Relation>> Materialize() {
+    std::map<std::string, Relation> out;
+    for (const auto& [name, info] : analysis_.predicates()) {
+      if (info.is_edb) continue;
+      Relation rel(name, analysis_.SchemaOf(name));
+      for (const Row& row : preds_[name].Snapshot()) {
+        rel.Append(TupleRef{row.data(), static_cast<uint32_t>(row.size())});
+      }
+      out.emplace(name, std::move(rel));
+    }
+    return out;
+  }
+
+  const Program& program_;
+  const ProgramAnalysis& analysis_;
+  const double sum_epsilon_;
+  const uint64_t max_rounds_;
+  std::map<std::string, PredState> preds_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Result<std::map<std::string, Relation>> ReferenceEvaluate(
+    const Program& program, const Catalog& catalog, double sum_epsilon,
+    uint64_t max_rounds) {
+  DCD_ASSIGN_OR_RETURN(ProgramAnalysis analysis,
+                       ProgramAnalysis::Analyze(program, catalog));
+  ReferenceRun run(program, analysis, catalog, sum_epsilon, max_rounds);
+  return run.Run();
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,30 @@
+#ifndef DCDATALOG_CORE_REFERENCE_H_
+#define DCDATALOG_CORE_REFERENCE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "storage/catalog.h"
+
+namespace dcdatalog {
+
+/// A deliberately simple, single-threaded, naive-evaluation Datalog
+/// interpreter used as the correctness oracle for the parallel engine (and
+/// as the "single-node system" baseline in the benchmark suite). It shares
+/// no evaluation code with the engine: rules are evaluated by backtracking
+/// over full relations until nothing changes.
+///
+/// Aggregate semantics match the engine's monotonic aggregates: min/max
+/// keep the per-group best, count counts distinct contributors, sum keeps
+/// each contributor's latest value (with the same epsilon cutoff).
+///
+/// Returns one Relation per derived predicate.
+Result<std::map<std::string, Relation>> ReferenceEvaluate(
+    const Program& program, const Catalog& catalog,
+    double sum_epsilon = 1e-9, uint64_t max_rounds = 1000000);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CORE_REFERENCE_H_

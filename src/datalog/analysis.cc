@@ -1,0 +1,539 @@
+#include "datalog/analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dcdatalog {
+namespace {
+
+/// Type lattice: unknown ⊑ int ⊑ double; string joins only with itself.
+/// kUnknown is encoded as -1 outside ColumnType.
+constexpr int kUnknown = -1;
+
+int JoinType(int a, int b, bool* conflict) {
+  if (a == kUnknown) return b;
+  if (b == kUnknown) return a;
+  if (a == b) return a;
+  const bool a_num = a != static_cast<int>(ColumnType::kString);
+  const bool b_num = b != static_cast<int>(ColumnType::kString);
+  if (a_num && b_num) return static_cast<int>(ColumnType::kDouble);
+  *conflict = true;
+  return a;
+}
+
+}  // namespace
+
+Result<ProgramAnalysis> ProgramAnalysis::Analyze(const Program& program,
+                                                 const Catalog& catalog) {
+  ProgramAnalysis analysis;
+  Status s = analysis.Build(program, catalog);
+  if (!s.ok()) return s;
+  return analysis;
+}
+
+Status ProgramAnalysis::Build(const Program& program, const Catalog& catalog) {
+  if (program.rules.empty()) {
+    return Status::InvalidArgument("program has no rules");
+  }
+  DCD_RETURN_IF_ERROR(CollectPredicates(program, catalog));
+  ComputeSccs(program);
+  DCD_RETURN_IF_ERROR(ClassifyRules(program));
+  DCD_RETURN_IF_ERROR(CheckSafety(program));
+  DCD_RETURN_IF_ERROR(CheckAggregates(program));
+  DCD_RETURN_IF_ERROR(InferTypes(program));
+  return Status::OK();
+}
+
+Status ProgramAnalysis::CollectPredicates(const Program& program,
+                                          const Catalog& catalog) {
+  auto note_usage = [&](const std::string& name, size_t arity,
+                        int line) -> Status {
+    auto [it, inserted] = predicates_.try_emplace(name);
+    PredicateInfo& info = it->second;
+    if (inserted) {
+      info.name = name;
+      info.arity = static_cast<uint32_t>(arity);
+      info.is_edb = true;  // Demoted to IDB when seen as a head.
+    } else if (info.arity != arity) {
+      return Status::InvalidArgument(
+          "predicate '" + name + "' used with arity " + std::to_string(arity) +
+          " and " + std::to_string(info.arity) + " (line " +
+          std::to_string(line) + ")");
+    }
+    return Status::OK();
+  };
+
+  for (const Rule& rule : program.rules) {
+    DCD_RETURN_IF_ERROR(
+        note_usage(rule.head.predicate, rule.head.args.size(), rule.line));
+    predicates_[rule.head.predicate].is_edb = false;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      DCD_RETURN_IF_ERROR(
+          note_usage(lit.atom.predicate, lit.atom.args.size(), rule.line));
+    }
+  }
+
+  // EDB predicates must exist in the catalog with matching arity; pick up
+  // their column types.
+  for (auto& [name, info] : predicates_) {
+    if (!info.is_edb) continue;
+    const Relation* rel = catalog.Find(name);
+    if (rel == nullptr) {
+      return Status::NotFound("base relation '" + name +
+                              "' is not loaded in the catalog");
+    }
+    if (rel->arity() != info.arity) {
+      return Status::InvalidArgument(
+          "base relation '" + name + "' has arity " +
+          std::to_string(rel->arity()) + " but rules use arity " +
+          std::to_string(info.arity));
+    }
+    info.column_types.resize(info.arity);
+    for (uint32_t c = 0; c < info.arity; ++c) {
+      info.column_types[c] = rel->schema().type(c);
+    }
+  }
+
+  for (const std::string& name : program.inputs) {
+    auto it = predicates_.find(name);
+    if (it == predicates_.end()) {
+      return Status::InvalidArgument(".input predicate '" + name +
+                                     "' is never used");
+    }
+    if (!it->second.is_edb) {
+      return Status::InvalidArgument(".input predicate '" + name +
+                                     "' is derived by rules");
+    }
+  }
+  for (const std::string& name : program.outputs) {
+    if (predicates_.count(name) == 0) {
+      return Status::InvalidArgument(".output predicate '" + name +
+                                     "' is never defined");
+    }
+  }
+  return Status::OK();
+}
+
+void ProgramAnalysis::ComputeSccs(const Program& program) {
+  // Dependency graph: head -> body predicate ("head depends on body").
+  // Tarjan emits SCCs dependencies-first, which is evaluation order.
+  std::vector<std::string> names;
+  std::map<std::string, int> id_of;
+  for (const auto& [name, info] : predicates_) {
+    id_of[name] = static_cast<int>(names.size());
+    names.push_back(name);
+  }
+  const int n = static_cast<int>(names.size());
+  std::vector<std::set<int>> adj(n);
+  for (const Rule& rule : program.rules) {
+    int h = id_of[rule.head.predicate];
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      adj[h].insert(id_of[lit.atom.predicate]);
+    }
+  }
+
+  // Iterative Tarjan (explicit stack; programs can be deep in theory).
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+
+  struct Frame {
+    int v;
+    std::set<int>::const_iterator it;
+  };
+
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, adj[start].begin()});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      int v = frame.v;
+      if (frame.it != adj[v].end()) {
+        int w = *frame.it;
+        ++frame.it;
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, adj[w].begin()});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        SccInfo scc;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.predicates.push_back(names[w]);
+          predicates_[names[w]].scc_id = static_cast<int>(sccs_.size());
+        } while (w != v);
+        sccs_.push_back(std::move(scc));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        int parent = frames.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+
+  // Recursive if multi-predicate or self-looping.
+  for (SccInfo& scc : sccs_) {
+    scc.mutual = scc.predicates.size() > 1;
+    if (scc.mutual) scc.recursive = true;
+  }
+  for (const Rule& rule : program.rules) {
+    int h_scc = predicates_[rule.head.predicate].scc_id;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      if (predicates_[lit.atom.predicate].scc_id == h_scc) {
+        sccs_[h_scc].recursive = true;
+      }
+    }
+  }
+  for (auto& [name, info] : predicates_) {
+    info.recursive = sccs_[info.scc_id].recursive;
+  }
+}
+
+Status ProgramAnalysis::ClassifyRules(const Program& program) {
+  rule_infos_.resize(program.rules.size());
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    RuleInfo& info = rule_infos_[r];
+    info.head_scc = predicates_[rule.head.predicate].scc_id;
+    SccInfo& scc = sccs_[info.head_scc];
+    scc.rule_indices.push_back(static_cast<int>(r));
+    if (rule.head.HasAggregate()) scc.has_aggregate = true;
+
+    int atom_idx = -1;
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const BodyLiteral& lit = rule.body[b];
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      ++atom_idx;
+      const bool same_scc =
+          predicates_[lit.atom.predicate].scc_id == info.head_scc;
+      if (lit.negated && same_scc) {
+        // Negation through recursion: the stated open problem (§3).
+        return Status::Unsupported(
+            "rule at line " + std::to_string(rule.line) + ": '" +
+            lit.atom.predicate +
+            "' is negated inside its own recursive component; DCDatalog "
+            "supports only stratified negation");
+      }
+      if (!lit.negated && scc.recursive && same_scc) {
+        info.recursive_atoms.push_back(static_cast<int>(b));
+      }
+    }
+    info.is_base = info.recursive_atoms.empty();
+    if (info.recursive_atoms.size() >= 2) scc.nonlinear = true;
+  }
+
+  // Every recursive SCC needs at least one base rule, or its fixpoint
+  // starts (and stays) empty — almost certainly a user mistake.
+  for (const SccInfo& scc : sccs_) {
+    if (!scc.recursive || scc.rule_indices.empty()) continue;
+    bool has_base = false;
+    for (int r : scc.rule_indices) {
+      if (rule_infos_[r].is_base) has_base = true;
+    }
+    if (!has_base) {
+      DCD_LOG(Warning) << "recursive component over '"
+                       << scc.predicates.front()
+                       << "' has no base rule; its fixpoint is empty";
+    }
+  }
+  return Status::OK();
+}
+
+Status ProgramAnalysis::CheckSafety(const Program& program) {
+  for (const Rule& rule : program.rules) {
+    std::set<std::string> bound;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom || lit.negated) continue;
+      for (const Term& t : lit.atom.args) {
+        if (t.IsVariable()) bound.insert(t.var);
+      }
+    }
+    // Propagate bindings through `Var = expr` equalities until fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind != BodyLiteral::Kind::kConstraint) continue;
+        const Constraint& c = lit.constraint;
+        if (c.op != CmpOp::kEq) continue;
+        auto try_bind = [&](const Expr& var_side,
+                            const Expr& expr_side) {
+          if (var_side.op != ExprOp::kVar) return;
+          if (bound.count(var_side.var) > 0) return;
+          std::vector<std::string> vars;
+          expr_side.CollectVars(&vars);
+          for (const std::string& v : vars) {
+            if (bound.count(v) == 0) return;
+          }
+          bound.insert(var_side.var);
+          changed = true;
+        };
+        try_bind(*c.lhs, *c.rhs);
+        try_bind(*c.rhs, *c.lhs);
+      }
+    }
+    // All constraint variables must now be bound.
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kConstraint) continue;
+      std::vector<std::string> vars;
+      lit.constraint.lhs->CollectVars(&vars);
+      lit.constraint.rhs->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        if (bound.count(v) == 0) {
+          return Status::InvalidArgument(
+              "unsafe rule at line " + std::to_string(rule.line) +
+              ": variable '" + v + "' in constraint is unbound");
+        }
+      }
+    }
+    // Negated atoms only test, never bind: their variables must be bound
+    // by the positive part of the body.
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom || !lit.negated) continue;
+      for (const Term& t : lit.atom.args) {
+        if (t.IsVariable() && bound.count(t.var) == 0) {
+          return Status::InvalidArgument(
+              "unsafe rule at line " + std::to_string(rule.line) +
+              ": variable '" + t.var + "' occurs only under negation");
+        }
+      }
+    }
+    // All head variables must be bound; wildcards are meaningless in heads.
+    for (const HeadArg& arg : rule.head.args) {
+      for (const Term& t : arg.terms) {
+        if (t.kind == TermKind::kWildcard) {
+          return Status::InvalidArgument("wildcard in rule head at line " +
+                                         std::to_string(rule.line));
+        }
+        if (t.IsVariable() && bound.count(t.var) == 0) {
+          return Status::InvalidArgument(
+              "unsafe rule at line " + std::to_string(rule.line) +
+              ": head variable '" + t.var + "' is unbound");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ProgramAnalysis::CheckAggregates(const Program& program) {
+  // Per-predicate aggregate signature: (position, function) of the single
+  // allowed aggregate argument, or none. All rules defining a predicate
+  // must agree, or the merge semantics in Gather would be ambiguous.
+  std::map<std::string, std::pair<int, AggFunc>> signature;
+  for (const Rule& rule : program.rules) {
+    int agg_pos = -1;
+    AggFunc agg = AggFunc::kNone;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (rule.head.args[i].agg == AggFunc::kNone) continue;
+      if (agg_pos != -1) {
+        return Status::Unsupported(
+            "multiple aggregates in one head (line " +
+            std::to_string(rule.line) + "); DCDatalog supports one");
+      }
+      agg_pos = static_cast<int>(i);
+      agg = rule.head.args[i].agg;
+    }
+    auto [it, inserted] =
+        signature.try_emplace(rule.head.predicate, agg_pos, agg);
+    if (!inserted && it->second != std::make_pair(agg_pos, agg)) {
+      return Status::InvalidArgument(
+          "rules for '" + rule.head.predicate +
+          "' disagree on aggregate position/function (line " +
+          std::to_string(rule.line) + ")");
+    }
+    // The aggregate must be the last argument: the engine treats the
+    // leading arguments as the group-by key prefix.
+    if (agg_pos != -1 &&
+        agg_pos != static_cast<int>(rule.head.args.size()) - 1) {
+      return Status::Unsupported(
+          "aggregate must be the last head argument (line " +
+          std::to_string(rule.line) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+Status ProgramAnalysis::InferTypes(const Program& program) {
+  // Fixpoint propagation over the int ⊑ double lattice, with strings apart.
+  // Starts from EDB schemas; defaults any still-unknown column to int.
+  std::map<std::string, std::vector<int>> types;
+  for (const auto& [name, info] : predicates_) {
+    std::vector<int> cols(info.arity, kUnknown);
+    if (info.is_edb) {
+      for (uint32_t c = 0; c < info.arity; ++c) {
+        cols[c] = static_cast<int>(info.column_types[c]);
+      }
+    }
+    types[name] = std::move(cols);
+  }
+
+  auto term_type = [&](const Term& t,
+                       const std::map<std::string, int>& var_types) -> int {
+    if (t.kind == TermKind::kConstant) {
+      return static_cast<int>(t.constant.type);
+    }
+    if (t.IsVariable()) {
+      auto it = var_types.find(t.var);
+      if (it != var_types.end()) return it->second;
+    }
+    return kUnknown;
+  };
+
+  std::function<int(const Expr&, const std::map<std::string, int>&)>
+      expr_type = [&](const Expr& e,
+                      const std::map<std::string, int>& var_types) -> int {
+    switch (e.op) {
+      case ExprOp::kConst:
+        return static_cast<int>(e.constant.type);
+      case ExprOp::kVar: {
+        auto it = var_types.find(e.var);
+        return it == var_types.end() ? kUnknown : it->second;
+      }
+      case ExprOp::kNeg:
+        return expr_type(*e.lhs, var_types);
+      default: {
+        int l = expr_type(*e.lhs, var_types);
+        int r = expr_type(*e.rhs, var_types);
+        if (l == static_cast<int>(ColumnType::kDouble) ||
+            r == static_cast<int>(ColumnType::kDouble)) {
+          return static_cast<int>(ColumnType::kDouble);
+        }
+        if (l == kUnknown || r == kUnknown) return kUnknown;
+        return static_cast<int>(ColumnType::kInt);
+      }
+    }
+  };
+
+  bool conflict = false;
+  for (int round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (const Rule& rule : program.rules) {
+      // Variable types within this rule, from body atom positions.
+      std::map<std::string, int> var_types;
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+        const std::vector<int>& cols = types[lit.atom.predicate];
+        for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+          const Term& t = lit.atom.args[i];
+          if (!t.IsVariable()) continue;
+          int& vt = var_types.try_emplace(t.var, kUnknown).first->second;
+          vt = JoinType(vt, cols[i], &conflict);
+        }
+      }
+      // Assignment constraints refine variable types (a few passes handle
+      // chains like K = C / D after C got its type).
+      for (int pass = 0; pass < 4; ++pass) {
+        for (const BodyLiteral& lit : rule.body) {
+          if (lit.kind != BodyLiteral::Kind::kConstraint) continue;
+          const Constraint& c = lit.constraint;
+          if (c.op != CmpOp::kEq) continue;
+          if (c.lhs->op == ExprOp::kVar) {
+            int t = expr_type(*c.rhs, var_types);
+            int& vt =
+                var_types.try_emplace(c.lhs->var, kUnknown).first->second;
+            vt = JoinType(vt, t, &conflict);
+          }
+          if (c.rhs->op == ExprOp::kVar) {
+            int t = expr_type(*c.lhs, var_types);
+            int& vt =
+                var_types.try_emplace(c.rhs->var, kUnknown).first->second;
+            vt = JoinType(vt, t, &conflict);
+          }
+        }
+      }
+      // Flow head argument types into the predicate's columns.
+      std::vector<int>& head_cols = types[rule.head.predicate];
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        const HeadArg& arg = rule.head.args[i];
+        int t;
+        switch (arg.agg) {
+          case AggFunc::kCount:
+            t = static_cast<int>(ColumnType::kInt);
+            break;
+          case AggFunc::kSum:
+            t = term_type(arg.terms[1], var_types);
+            break;
+          default:
+            t = term_type(arg.terms[0], var_types);
+            break;
+        }
+        int joined = JoinType(head_cols[i], t, &conflict);
+        if (joined != head_cols[i]) {
+          head_cols[i] = joined;
+          changed = true;
+        }
+      }
+      if (conflict) {
+        return Status::InvalidArgument(
+            "type conflict (string vs numeric) in rule at line " +
+            std::to_string(rule.line));
+      }
+    }
+    if (!changed) break;
+  }
+
+  for (auto& [name, info] : predicates_) {
+    if (info.is_edb) continue;
+    info.column_types.resize(info.arity);
+    for (uint32_t c = 0; c < info.arity; ++c) {
+      int t = types[name][c];
+      info.column_types[c] =
+          t == kUnknown ? ColumnType::kInt : static_cast<ColumnType>(t);
+    }
+  }
+  return Status::OK();
+}
+
+Schema ProgramAnalysis::SchemaOf(const std::string& predicate) const {
+  const PredicateInfo& info = predicates_.at(predicate);
+  std::vector<Column> cols;
+  cols.reserve(info.arity);
+  for (uint32_t c = 0; c < info.arity; ++c) {
+    cols.push_back(Column{"c" + std::to_string(c), info.column_types[c]});
+  }
+  return Schema(std::move(cols));
+}
+
+std::string ProgramAnalysis::ToString() const {
+  std::ostringstream os;
+  os << "SCCs (evaluation order):\n";
+  for (size_t i = 0; i < sccs_.size(); ++i) {
+    const SccInfo& scc = sccs_[i];
+    os << "  [" << i << "]";
+    for (const auto& p : scc.predicates) os << " " << p;
+    if (scc.recursive) os << " (recursive";
+    if (scc.mutual) os << ", mutual";
+    if (scc.nonlinear) os << ", non-linear";
+    if (scc.recursive) os << ")";
+    if (scc.has_aggregate) os << " [agg]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dcdatalog

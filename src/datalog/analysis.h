@@ -1,0 +1,89 @@
+#ifndef DCDATALOG_DATALOG_ANALYSIS_H_
+#define DCDATALOG_DATALOG_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "storage/catalog.h"
+
+namespace dcdatalog {
+
+/// Facts the analysis derives about one predicate.
+struct PredicateInfo {
+  std::string name;
+  uint32_t arity = 0;
+  bool is_edb = false;    // Defined by base facts only (no rule head).
+  int scc_id = -1;        // Index into ProgramAnalysis::sccs().
+  bool recursive = false; // Member of a recursive SCC.
+  std::vector<ColumnType> column_types;
+};
+
+/// Facts about one rule, aligned with Program::rules by index.
+struct RuleInfo {
+  int head_scc = -1;
+  /// Body atom indices (into Rule::body) whose predicate lives in the same
+  /// SCC as the head, i.e. the recursive goals.
+  std::vector<int> recursive_atoms;
+  bool is_base = false;  // No recursive goals: an exit/base rule of its SCC.
+};
+
+/// One strongly connected component of the predicate dependency graph —
+/// the Predicate Connection Graph (PCG) of paper §3 / [8]. SCCs are stored
+/// in evaluation (dependencies-first topological) order.
+struct SccInfo {
+  std::vector<std::string> predicates;
+  std::vector<int> rule_indices;  // Rules whose head is in this SCC.
+  bool recursive = false;
+  bool mutual = false;     // More than one predicate (mutual recursion).
+  bool nonlinear = false;  // Some rule has >= 2 recursive goals.
+  bool has_aggregate = false;
+};
+
+/// Static analysis of a parsed program against a catalog of base relations:
+/// builds the PCG, classifies recursion (linear / non-linear / mutual),
+/// validates safety and aggregate usage, infers column types.
+class ProgramAnalysis {
+ public:
+  /// Runs all checks. On success the returned analysis is immutable.
+  static Result<ProgramAnalysis> Analyze(const Program& program,
+                                         const Catalog& catalog);
+
+  const std::vector<SccInfo>& sccs() const { return sccs_; }
+  const std::vector<RuleInfo>& rule_infos() const { return rule_infos_; }
+
+  const PredicateInfo& predicate(const std::string& name) const {
+    return predicates_.at(name);
+  }
+  bool HasPredicate(const std::string& name) const {
+    return predicates_.count(name) > 0;
+  }
+  const std::map<std::string, PredicateInfo>& predicates() const {
+    return predicates_;
+  }
+
+  /// Schema for a derived predicate, built from inferred column types with
+  /// synthesized column names.
+  Schema SchemaOf(const std::string& predicate) const;
+
+  std::string ToString() const;
+
+ private:
+  Status Build(const Program& program, const Catalog& catalog);
+  Status CollectPredicates(const Program& program, const Catalog& catalog);
+  void ComputeSccs(const Program& program);
+  Status ClassifyRules(const Program& program);
+  Status CheckSafety(const Program& program);
+  Status CheckAggregates(const Program& program);
+  Status InferTypes(const Program& program);
+
+  std::map<std::string, PredicateInfo> predicates_;
+  std::vector<SccInfo> sccs_;
+  std::vector<RuleInfo> rule_infos_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_DATALOG_ANALYSIS_H_

@@ -1,0 +1,212 @@
+#include "datalog/ast.h"
+
+#include <sstream>
+
+namespace dcdatalog {
+namespace {
+
+std::string ValueToString(const Value& v) {
+  std::ostringstream os;
+  switch (v.type) {
+    case ColumnType::kInt:
+      os << v.AsInt();
+      break;
+    case ColumnType::kDouble:
+      os << DoubleFromWord(v.word);
+      break;
+    case ColumnType::kString:
+      os << "str#" << v.word;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kVariable:
+      return var;
+    case TermKind::kConstant:
+      return ValueToString(constant);
+    case TermKind::kWildcard:
+      return "_";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->op = ExprOp::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Const(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->op = ExprOp::kConst;
+  e->constant = v;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(ExprOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Negate(std::unique_ptr<Expr> inner) {
+  auto e = std::make_unique<Expr>();
+  e->op = ExprOp::kNeg;
+  e->lhs = std::move(inner);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->op = op;
+  e->var = var;
+  e->constant = constant;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  return e;
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  if (op == ExprOp::kVar) out->push_back(var);
+  if (lhs) lhs->CollectVars(out);
+  if (rhs) rhs->CollectVars(out);
+}
+
+std::string Expr::ToString() const {
+  switch (op) {
+    case ExprOp::kVar:
+      return var;
+    case ExprOp::kConst:
+      return ValueToString(constant);
+    case ExprOp::kNeg:
+      return "-(" + lhs->ToString() + ")";
+    default: {
+      const char* sym = op == ExprOp::kAdd   ? "+"
+                        : op == ExprOp::kSub ? "-"
+                        : op == ExprOp::kMul ? "*"
+                                             : "/";
+      return "(" + lhs->ToString() + " " + sym + " " + rhs->ToString() + ")";
+    }
+  }
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Constraint Constraint::Clone() const {
+  Constraint c;
+  c.op = op;
+  c.lhs = lhs->Clone();
+  c.rhs = rhs->Clone();
+  return c;
+}
+
+std::string Constraint::ToString() const {
+  return lhs->ToString() + " " + CmpOpName(op) + " " + rhs->ToString();
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string BodyLiteral::ToString() const {
+  if (kind != Kind::kAtom) return constraint.ToString();
+  return negated ? "!" + atom.ToString() : atom.ToString();
+}
+
+const char* AggFuncName(AggFunc agg) {
+  switch (agg) {
+    case AggFunc::kNone:
+      return "none";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+std::string HeadArg::ToString() const {
+  if (agg == AggFunc::kNone) return terms[0].ToString();
+  std::string out = AggFuncName(agg);
+  out += "<";
+  if (terms.size() > 1) out += "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  if (terms.size() > 1) out += ")";
+  return out + ">";
+}
+
+std::string RuleHead::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+size_t Rule::NumAtoms() const {
+  size_t n = 0;
+  for (const auto& lit : body) {
+    if (lit.kind == BodyLiteral::Kind::kAtom) ++n;
+  }
+  return n;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  return out + ".";
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const auto& in : inputs) os << ".input " << in << "\n";
+  for (const auto& out : outputs) os << ".output " << out << "\n";
+  for (const auto& rule : rules) os << rule.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace dcdatalog

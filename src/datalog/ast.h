@@ -1,0 +1,168 @@
+#ifndef DCDATALOG_DATALOG_AST_H_
+#define DCDATALOG_DATALOG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dcdatalog {
+
+/// A term in an atom: a variable (`X`), a constant (`42`, `3.14`, `"bob"`),
+/// or the wildcard `_`.
+enum class TermKind : uint8_t { kVariable, kConstant, kWildcard };
+
+struct Term {
+  TermKind kind = TermKind::kWildcard;
+  std::string var;  // kVariable
+  Value constant;   // kConstant
+
+  static Term Variable(std::string name) {
+    Term t;
+    t.kind = TermKind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Constant(Value v) {
+    Term t;
+    t.kind = TermKind::kConstant;
+    t.constant = v;
+    return t;
+  }
+  static Term Wildcard() { return Term{}; }
+
+  bool IsVariable() const { return kind == TermKind::kVariable; }
+
+  std::string ToString() const;
+};
+
+/// Arithmetic expression tree for constraints and assignments in rule
+/// bodies (e.g. `C = C1 + C2`, `K = 0.85 * (C / D)`).
+enum class ExprOp : uint8_t {
+  kVar,
+  kConst,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kNeg,
+  kToDouble,  // Planner-inserted int → double conversion; never parsed.
+};
+
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  std::string var;  // kVar
+  Value constant;   // kConst
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  static std::unique_ptr<Expr> Var(std::string name);
+  static std::unique_ptr<Expr> Const(Value v);
+  static std::unique_ptr<Expr> Binary(ExprOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Negate(std::unique_ptr<Expr> e);
+
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Collects variable names referenced by the expression into `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators for body constraints.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// A body constraint `lhs op rhs`. When op is kEq and one side is a single
+/// variable not bound elsewhere, the planner turns it into an assignment
+/// that binds the variable; otherwise it filters.
+struct Constraint {
+  CmpOp op = CmpOp::kEq;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  Constraint Clone() const;
+  std::string ToString() const;
+};
+
+/// A positive predicate atom `p(t1, ..., tk)` in a rule body or head.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+/// One element of a rule body: an atom (possibly negated) or a constraint.
+/// Negation is stratified: the analysis rejects negation through recursion
+/// (the paper's engine leaves that as an open problem), but negating a
+/// predicate from an earlier stratum is supported as an anti-join.
+struct BodyLiteral {
+  enum class Kind : uint8_t { kAtom, kConstraint } kind = Kind::kAtom;
+  Atom atom;
+  bool negated = false;  // kAtom only.
+  Constraint constraint;
+
+  std::string ToString() const;
+};
+
+/// Aggregate functions allowed in rule heads (paper §2.1, §6.2.1). These are
+/// the monotonic aggregates of Mazuran et al.; min/max aggregate a value
+/// per group, count/sum additionally carry a contributor key so each
+/// contributor's latest value can be replaced (the PageRank pattern).
+enum class AggFunc : uint8_t { kNone, kMin, kMax, kCount, kSum };
+
+const char* AggFuncName(AggFunc agg);
+
+/// One head argument: a plain term (group-by column) or an aggregate.
+///  * min<Z>, max<Z>        → agg terms = {Z}
+///  * count<X>              → agg terms = {X}      (X = contributor)
+///  * sum<(Y, K)>           → agg terms = {Y, K}   (Y = contributor, K = value)
+struct HeadArg {
+  AggFunc agg = AggFunc::kNone;
+  std::vector<Term> terms;  // size 1, except sum which has 2.
+
+  const Term& term() const { return terms[0]; }
+  std::string ToString() const;
+};
+
+struct RuleHead {
+  std::string predicate;
+  std::vector<HeadArg> args;
+
+  bool HasAggregate() const {
+    for (const auto& a : args) {
+      if (a.agg != AggFunc::kNone) return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+};
+
+struct Rule {
+  RuleHead head;
+  std::vector<BodyLiteral> body;
+  int line = 0;  // Source line for diagnostics.
+
+  /// Number of body atoms (excludes constraints).
+  size_t NumAtoms() const;
+
+  std::string ToString() const;
+};
+
+/// A parsed Datalog program plus its directives.
+struct Program {
+  std::vector<Rule> rules;
+  std::vector<std::string> inputs;   // `.input p` — must exist in catalog.
+  std::vector<std::string> outputs;  // `.output p` — results to surface.
+
+  std::string ToString() const;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_DATALOG_AST_H_

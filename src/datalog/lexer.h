@@ -1,0 +1,55 @@
+#ifndef DCDATALOG_DATALOG_LEXER_H_
+#define DCDATALOG_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dcdatalog {
+
+enum class TokenKind : uint8_t {
+  kIdent,     // lowercase-initial identifier: predicate or keyword
+  kVariable,  // uppercase-initial identifier
+  kWildcard,  // _
+  kInt,
+  kFloat,
+  kString,    // "..." (unescaped content in text)
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kDot,       // .
+  kImplies,   // :-
+  kBang,      // !   (negation)
+  kEq,        // =
+  kNe,        // !=
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+/// Tokenizes a Datalog program. Comments: `//` or `%` to end of line and
+/// `/* ... */` blocks.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_DATALOG_LEXER_H_

@@ -1,0 +1,333 @@
+#include "datalog/parser.h"
+
+#include <utility>
+
+#include "datalog/lexer.h"
+
+namespace dcdatalog {
+namespace {
+
+// Local helper: propagate Status out of both Status- and Result-returning
+// parser methods.
+#define DCD_RETURN_IF_ERROR_R(expr)              \
+  do {                                           \
+    ::dcdatalog::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                     \
+  } while (false)
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, StringDict* dict)
+      : tokens_(std::move(tokens)), dict_(dict) {}
+
+  Result<Program> Parse() {
+    Program program;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kDot)) {
+        DCD_RETURN_IF_ERROR_R(ParseDirective(&program));
+      } else {
+        DCD_RETURN_IF_ERROR_R(ParseRule(&program));
+      }
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind, const char* context) {
+    if (At(kind)) {
+      ++pos_;
+      return Status::OK();
+    }
+    return Status::ParseError(std::string("expected ") + TokenKindName(kind) +
+                              " in " + context + ", found '" + Peek().text +
+                              "' (" + TokenKindName(Peek().kind) +
+                              ") at line " + std::to_string(Peek().line));
+  }
+
+  Status ParseDirective(Program* program) {
+    DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kDot, "directive"));
+    if (!At(TokenKind::kIdent)) {
+      return Status::ParseError("expected directive name after '.' at line " +
+                                std::to_string(Peek().line));
+    }
+    std::string name = Advance().text;
+    if (name != "input" && name != "output") {
+      return Status::ParseError("unknown directive '." + name + "' at line " +
+                                std::to_string(Peek().line));
+    }
+    if (!At(TokenKind::kIdent)) {
+      return Status::ParseError("expected relation name after '." + name +
+                                "' at line " + std::to_string(Peek().line));
+    }
+    std::string relation = Advance().text;
+    if (name == "input") {
+      program->inputs.push_back(relation);
+    } else {
+      program->outputs.push_back(relation);
+    }
+    return Status::OK();
+  }
+
+  Status ParseRule(Program* program) {
+    Rule rule;
+    rule.line = Peek().line;
+    DCD_RETURN_IF_ERROR_R(ParseHead(&rule.head));
+    if (Accept(TokenKind::kImplies)) {
+      do {
+        BodyLiteral lit;
+        DCD_RETURN_IF_ERROR_R(ParseBodyLiteral(&lit));
+        rule.body.push_back(std::move(lit));
+      } while (Accept(TokenKind::kComma));
+    }
+    DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kDot, "rule (did you forget '.')"));
+    program->rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  Status ParseHead(RuleHead* head) {
+    if (!At(TokenKind::kIdent)) {
+      return Status::ParseError("expected predicate name at line " +
+                                std::to_string(Peek().line));
+    }
+    head->predicate = Advance().text;
+    DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kLParen, "rule head"));
+    do {
+      HeadArg arg;
+      DCD_RETURN_IF_ERROR_R(ParseHeadArg(&arg));
+      head->args.push_back(std::move(arg));
+    } while (Accept(TokenKind::kComma));
+    return Expect(TokenKind::kRParen, "rule head");
+  }
+
+  Status ParseHeadArg(HeadArg* arg) {
+    // Aggregate: min|max|count|sum '<' term [, term] '>'.
+    if (At(TokenKind::kIdent)) {
+      AggFunc agg = AggFunc::kNone;
+      const std::string& name = Peek().text;
+      if (name == "min") agg = AggFunc::kMin;
+      if (name == "max") agg = AggFunc::kMax;
+      if (name == "count") agg = AggFunc::kCount;
+      if (name == "sum") agg = AggFunc::kSum;
+      if (agg != AggFunc::kNone && Peek(1).kind == TokenKind::kLt) {
+        int line = Peek().line;
+        Advance();  // aggregate keyword
+        Advance();  // '<'
+        arg->agg = agg;
+        bool parenthesized = Accept(TokenKind::kLParen);
+        Term t;
+        DCD_RETURN_IF_ERROR_R(ParseTerm(&t));
+        arg->terms.push_back(std::move(t));
+        while (Accept(TokenKind::kComma)) {
+          Term extra;
+          DCD_RETURN_IF_ERROR_R(ParseTerm(&extra));
+          arg->terms.push_back(std::move(extra));
+        }
+        if (parenthesized) {
+          DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kRParen, "aggregate"));
+        }
+        DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kGt, "aggregate"));
+        // Shape checks: sum takes (contributor, value); min/max/count one.
+        if (agg == AggFunc::kSum && arg->terms.size() != 2) {
+          return Status::ParseError(
+              "sum<> takes (contributor, value) at line " +
+              std::to_string(line));
+        }
+        if (agg != AggFunc::kSum && arg->terms.size() != 1) {
+          return Status::ParseError(std::string(AggFuncName(agg)) +
+                                    "<> takes one term at line " +
+                                    std::to_string(line));
+        }
+        return Status::OK();
+      }
+    }
+    Term t;
+    DCD_RETURN_IF_ERROR_R(ParseTerm(&t));
+    arg->agg = AggFunc::kNone;
+    arg->terms.push_back(std::move(t));
+    return Status::OK();
+  }
+
+  Status ParseBodyLiteral(BodyLiteral* lit) {
+    if (At(TokenKind::kBang)) {
+      Advance();
+      if (!At(TokenKind::kIdent) || Peek(1).kind != TokenKind::kLParen) {
+        return Status::ParseError("expected atom after '!' at line " +
+                                  std::to_string(Peek().line));
+      }
+      lit->kind = BodyLiteral::Kind::kAtom;
+      lit->negated = true;
+      return ParseAtom(&lit->atom);
+    }
+    if (At(TokenKind::kIdent) && Peek(1).kind == TokenKind::kLParen) {
+      lit->kind = BodyLiteral::Kind::kAtom;
+      return ParseAtom(&lit->atom);
+    }
+    lit->kind = BodyLiteral::Kind::kConstraint;
+    return ParseConstraint(&lit->constraint);
+  }
+
+  Status ParseAtom(Atom* atom) {
+    atom->predicate = Advance().text;
+    DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kLParen, "atom"));
+    do {
+      Term t;
+      DCD_RETURN_IF_ERROR_R(ParseTerm(&t));
+      atom->args.push_back(std::move(t));
+    } while (Accept(TokenKind::kComma));
+    return Expect(TokenKind::kRParen, "atom");
+  }
+
+  Status ParseTerm(Term* term) {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        *term = Term::Variable(Advance().text);
+        return Status::OK();
+      case TokenKind::kWildcard:
+        Advance();
+        *term = Term::Wildcard();
+        return Status::OK();
+      case TokenKind::kInt:
+        *term = Term::Constant(Value::Int(Advance().int_value));
+        return Status::OK();
+      case TokenKind::kFloat:
+        *term = Term::Constant(Value::Double(Advance().float_value));
+        return Status::OK();
+      case TokenKind::kString:
+        *term = Term::Constant(Value::String(dict_->Intern(Advance().text)));
+        return Status::OK();
+      case TokenKind::kMinus: {
+        Advance();
+        if (At(TokenKind::kInt)) {
+          *term = Term::Constant(Value::Int(-Advance().int_value));
+          return Status::OK();
+        }
+        if (At(TokenKind::kFloat)) {
+          *term = Term::Constant(Value::Double(-Advance().float_value));
+          return Status::OK();
+        }
+        return Status::ParseError("expected number after '-' at line " +
+                                  std::to_string(tok.line));
+      }
+      default:
+        return Status::ParseError("expected term, found '" + tok.text +
+                                  "' at line " + std::to_string(tok.line));
+    }
+  }
+
+  Status ParseConstraint(Constraint* constraint) {
+    DCD_ASSIGN_OR_RETURN(constraint->lhs, ParseExpr());
+    CmpOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CmpOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CmpOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CmpOp::kGe;
+        break;
+      default:
+        return Status::ParseError("expected comparison operator at line " +
+                                  std::to_string(Peek().line));
+    }
+    Advance();
+    constraint->op = op;
+    DCD_ASSIGN_OR_RETURN(constraint->rhs, ParseExpr());
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseMul());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      ExprOp op = Accept(TokenKind::kPlus) ? ExprOp::kAdd
+                                           : (Advance(), ExprOp::kSub);
+      DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseMul());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMul() {
+    DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
+      ExprOp op = Accept(TokenKind::kStar) ? ExprOp::kMul
+                                           : (Advance(), ExprOp::kDiv);
+      DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseUnary());
+      return Expr::Negate(std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kVariable:
+        return Expr::Var(Advance().text);
+      case TokenKind::kInt:
+        return Expr::Const(Value::Int(Advance().int_value));
+      case TokenKind::kFloat:
+        return Expr::Const(Value::Double(Advance().float_value));
+      case TokenKind::kString:
+        return Expr::Const(Value::String(dict_->Intern(Advance().text)));
+      case TokenKind::kLParen: {
+        Advance();
+        DCD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+        DCD_RETURN_IF_ERROR_R(Expect(TokenKind::kRParen, "expression"));
+        return inner;
+      }
+      default:
+        return Status::ParseError("expected expression, found '" + tok.text +
+                                  "' at line " + std::to_string(tok.line));
+    }
+  }
+
+#undef DCD_RETURN_IF_ERROR_R
+
+  std::vector<Token> tokens_;
+  StringDict* dict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source, StringDict* dict) {
+  DCD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), dict);
+  return parser.Parse();
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,29 @@
+#ifndef DCDATALOG_DATALOG_PARSER_H_
+#define DCDATALOG_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/string_dict.h"
+#include "datalog/ast.h"
+
+namespace dcdatalog {
+
+/// Parses a Datalog program in the DCDatalog dialect:
+///
+///   .input arc
+///   .output tc
+///   tc(X, Y) :- arc(X, Y).
+///   tc(X, Y) :- tc(X, Z), arc(Z, Y).
+///   sp(T, min<C>) :- sp(F, C1), warc(F, T, C2), C = C1 + C2.
+///   rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), K = 0.85 * (C / D).
+///
+/// Variables are uppercase-initial, predicates lowercase-initial, `_` is a
+/// wildcard. Aggregates (`min`, `max`, `count`, `sum`) appear only in rule
+/// heads. String constants are interned into `dict`. Negation is not part
+/// of the dialect (the paper's engine does not support it in recursion).
+Result<Program> ParseProgram(std::string_view source, StringDict* dict);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_DATALOG_PARSER_H_

@@ -1,0 +1,167 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace dcdatalog {
+namespace {
+
+/// Samples one RMAT edge in a [0, 2^scale) id space.
+Edge SampleRmatEdge(Rng* rng, uint32_t scale) {
+  // Canonical Graph500-style parameters.
+  constexpr double kA = 0.57, kB = 0.19, kC = 0.19;
+  uint64_t src = 0, dst = 0;
+  for (uint32_t bit = 0; bit < scale; ++bit) {
+    const double r = rng->NextDouble();
+    src <<= 1;
+    dst <<= 1;
+    if (r < kA) {
+      // Top-left quadrant: both bits 0.
+    } else if (r < kA + kB) {
+      dst |= 1;
+    } else if (r < kA + kB + kC) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return Edge{src, dst, 1};
+}
+
+}  // namespace
+
+Graph GenerateRmat(uint64_t num_vertices, uint64_t seed,
+                   uint64_t edges_per_vertex) {
+  DCD_CHECK(num_vertices > 1);
+  uint32_t scale = 1;
+  while ((1ULL << scale) < num_vertices) ++scale;
+  Rng rng(seed);
+  Graph graph(num_vertices);
+  const uint64_t target_edges = num_vertices * edges_per_vertex;
+  graph.Reserve(target_edges);
+  uint64_t produced = 0;
+  // Rejection-sample ids that fall outside [0, num_vertices) when
+  // num_vertices is not a power of two.
+  while (produced < target_edges) {
+    Edge e = SampleRmatEdge(&rng, scale);
+    if (e.src >= num_vertices || e.dst >= num_vertices || e.src == e.dst) {
+      continue;
+    }
+    graph.AddEdge(e.src, e.dst);
+    ++produced;
+  }
+  graph.Canonicalize();
+  return graph;
+}
+
+Graph GenerateGnp(uint64_t num_vertices, double p, uint64_t seed) {
+  DCD_CHECK(p > 0.0 && p < 1.0);
+  Rng rng(seed);
+  Graph graph(num_vertices);
+  // Geometric skipping: iterate only over present edges, O(expected edges).
+  const double log1mp = std::log1p(-p);
+  uint64_t total_pairs = num_vertices * num_vertices;
+  uint64_t idx = 0;
+  while (true) {
+    const double r = std::max(rng.NextDouble(), 1e-18);
+    const uint64_t skip =
+        static_cast<uint64_t>(std::floor(std::log(r) / log1mp));
+    if (skip > total_pairs - idx - 1) break;
+    idx += skip;
+    const uint64_t u = idx / num_vertices;
+    const uint64_t v = idx % num_vertices;
+    if (u != v) graph.AddEdge(u, v);
+    ++idx;
+    if (idx >= total_pairs) break;
+  }
+  return graph;
+}
+
+Graph GenerateRandomTree(uint32_t height, uint64_t seed, uint32_t min_children,
+                         uint32_t max_children) {
+  Rng rng(seed);
+  Graph graph;
+  std::vector<uint64_t> frontier = {0};
+  uint64_t next_id = 1;
+  for (uint32_t level = 0; level < height; ++level) {
+    std::vector<uint64_t> next_frontier;
+    for (uint64_t parent : frontier) {
+      const uint32_t children = static_cast<uint32_t>(
+          rng.UniformRange(min_children, max_children));
+      for (uint32_t c = 0; c < children; ++c) {
+        graph.AddEdge(parent, next_id);
+        next_frontier.push_back(next_id);
+        ++next_id;
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return graph;
+}
+
+Graph GenerateLeveledTree(uint64_t target_vertices, uint64_t seed) {
+  Rng rng(seed);
+  Graph graph;
+  graph.Reserve(target_vertices);
+  std::vector<uint64_t> frontier = {0};
+  uint64_t next_id = 1;
+  while (next_id < target_vertices && !frontier.empty()) {
+    std::vector<uint64_t> next_frontier;
+    // Per [24]: the leaf probability for this level is drawn in [0.2, 0.6].
+    const double leaf_chance = 0.2 + 0.4 * rng.NextDouble();
+    for (uint64_t parent : frontier) {
+      const uint32_t children =
+          static_cast<uint32_t>(rng.UniformRange(5, 10));
+      for (uint32_t c = 0; c < children && next_id < target_vertices; ++c) {
+        graph.AddEdge(parent, next_id);
+        if (!rng.Chance(leaf_chance)) next_frontier.push_back(next_id);
+        ++next_id;
+      }
+      if (next_id >= target_vertices) break;
+    }
+    if (next_frontier.empty() && next_id < target_vertices) {
+      // All children became leaves; keep growing from the last node so we
+      // hit the requested size.
+      next_frontier.push_back(next_id - 1);
+    }
+    frontier = std::move(next_frontier);
+  }
+  return graph;
+}
+
+Graph GenerateSocialGraph(uint64_t num_vertices, uint64_t avg_degree,
+                          uint64_t seed) {
+  Graph rmat = GenerateRmat(num_vertices, seed, avg_degree);
+  // Random relabeling: destroys the id-locality RMAT ids have, so hash
+  // partitioning sees the same "arbitrary crawl order" a real snapshot has.
+  Rng rng(seed ^ 0x5ca1ab1eULL);
+  std::vector<uint64_t> perm(rmat.num_vertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (uint64_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Uniform(i)]);
+  }
+  Graph out(rmat.num_vertices());
+  out.Reserve(rmat.num_edges());
+  for (const Edge& e : rmat.edges()) {
+    out.AddEdge(perm[e.src], perm[e.dst], e.weight);
+  }
+  return out;
+}
+
+void AssignRandomWeights(Graph* graph, int64_t max_weight, uint64_t seed) {
+  Rng rng(seed);
+  Graph weighted(graph->num_vertices());
+  weighted.Reserve(graph->num_edges());
+  for (const Edge& e : graph->edges()) {
+    weighted.AddEdge(e.src, e.dst, rng.UniformRange(1, max_weight));
+  }
+  *graph = std::move(weighted);
+}
+
+}  // namespace dcdatalog

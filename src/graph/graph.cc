@@ -1,0 +1,85 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dcdatalog {
+
+void Graph::Canonicalize() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  auto last = std::unique(edges_.begin(), edges_.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          });
+  edges_.erase(last, edges_.end());
+  auto no_loops =
+      std::remove_if(edges_.begin(), edges_.end(),
+                     [](const Edge& e) { return e.src == e.dst; });
+  edges_.erase(no_loops, edges_.end());
+}
+
+Relation Graph::ToArcRelation(const std::string& name) const {
+  Relation rel(name, Schema({{"src", ColumnType::kInt},
+                             {"dst", ColumnType::kInt}}));
+  rel.Reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    rel.Append({e.src, e.dst});
+  }
+  return rel;
+}
+
+Relation Graph::ToWeightedArcRelation(const std::string& name) const {
+  Relation rel(name, Schema({{"src", ColumnType::kInt},
+                             {"dst", ColumnType::kInt},
+                             {"weight", ColumnType::kInt}}));
+  rel.Reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    rel.Append({e.src, e.dst, WordFromInt(e.weight)});
+  }
+  return rel;
+}
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open graph file: " + path);
+  Graph graph;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t u, v;
+    if (!(ls >> u >> v)) {
+      return Status::ParseError("bad edge at " + path + ":" +
+                                std::to_string(line_no));
+    }
+    int64_t w = 1;
+    ls >> w;  // Optional third column.
+    graph.AddEdge(u, v, w);
+  }
+  return graph;
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::RuntimeError("cannot write graph file: " + path);
+  // Column count must be uniform: write weights for every edge as soon as
+  // any edge is weighted, so loaders see a consistent arity.
+  bool weighted = false;
+  for (const Edge& e : graph.edges()) {
+    if (e.weight != 1) weighted = true;
+  }
+  for (const Edge& e : graph.edges()) {
+    out << e.src << ' ' << e.dst;
+    if (weighted) out << ' ' << e.weight;
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,69 @@
+#ifndef DCDATALOG_PLANNER_LOGICAL_PLAN_H_
+#define DCDATALOG_PLANNER_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+
+namespace dcdatalog {
+
+/// Logical relational operators (paper §5.1). A rule compiles to a DAG —
+/// here a left-deep tree — of these; recursive predicates carry delta tags.
+enum class LogicalOpKind : uint8_t {
+  kScan,        // A body atom: base relation or recursive table.
+  kJoin,        // Natural join of the two children on shared variables.
+  kAntiJoin,    // Stratified negation: drop rows matching `atom`.
+  kSelect,      // A constraint filter.
+  kBind,        // An assignment `Var = expr` introducing a new column.
+  kProjectHead, // Final projection to the head, including aggregate spec.
+};
+
+struct LogicalOp {
+  LogicalOpKind kind;
+
+  // kScan / kAntiJoin
+  Atom atom;
+  bool is_delta = false;      // Scan of δP rather than P.
+  bool is_recursive = false;  // P is in the rule's own SCC.
+
+  // kJoin
+  std::vector<std::string> join_vars;  // Shared variables (documentation).
+
+  // kSelect / kBind
+  Constraint constraint;
+
+  // kProjectHead
+  RuleHead head;
+
+  std::vector<std::unique_ptr<LogicalOp>> children;
+
+  std::string ToString(int indent = 0) const;
+};
+
+/// The logical plan of one rule: a single delta version. A rule with k
+/// recursive body atoms yields k delta versions (semi-naive rewriting);
+/// a base rule yields exactly one with delta_atom = -1.
+struct LogicalRulePlan {
+  int rule_index = -1;
+  int delta_atom = -1;  // Body index of the δ-scanned atom; -1 = base rule.
+  std::unique_ptr<LogicalOp> root;
+
+  std::string ToString() const;
+};
+
+/// Builds the logical plans for every rule of `program`:
+///  1. expands each recursive rule into its delta versions,
+///  2. reorders body atoms recursive-table-first (paper §5.1),
+///  3. orders remaining atoms greedily by join connectivity,
+///  4. pushes selections/bindings down to the lowest join level where
+///     their variables are bound.
+Result<std::vector<LogicalRulePlan>> BuildLogicalPlans(
+    const Program& program, const ProgramAnalysis& analysis);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_PLANNER_LOGICAL_PLAN_H_

@@ -1,0 +1,184 @@
+#ifndef DCDATALOG_PLANNER_PHYSICAL_PLAN_H_
+#define DCDATALOG_PLANNER_PHYSICAL_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/analysis.h"
+#include "planner/logical_plan.h"
+
+namespace dcdatalog {
+
+/// A scalar expression compiled against a rule's register file: variables
+/// are resolved to register indices and every node knows its result type,
+/// so evaluation needs no name lookups or type dispatch beyond one branch.
+struct CompiledExpr {
+  ExprOp op = ExprOp::kConst;
+  int reg = -1;             // kVar
+  uint64_t const_word = 0;  // kConst
+  ColumnType type = ColumnType::kInt;
+  std::unique_ptr<CompiledExpr> lhs;
+  std::unique_ptr<CompiledExpr> rhs;
+};
+
+/// How one column of a scanned/probed tuple interacts with registers.
+struct OutputBinding {
+  uint32_t col;  // Column in the scanned tuple.
+  int reg;       // Register to write.
+};
+struct EqCheck {
+  uint32_t col;
+  int reg;  // Tuple column must equal this register's value.
+};
+struct ConstCheck {
+  uint32_t col;
+  uint64_t word;
+};
+
+/// Kinds of pipeline steps executed per driving tuple (paper §5.2).
+enum class StepKind : uint8_t {
+  kProbeBaseHash,   // Hash-join probe of a base-relation index.
+  kProbeBaseBTree,  // Index-join probe of a base-relation B+-tree.
+  kScanBase,        // Nested-loop fallback: full scan of a base relation.
+  kProbeRecursive,  // Probe a recursive-table replica's join index.
+  kAntiJoinBTree,   // Stratified negation via index: reject on any match.
+  kAntiJoinScan,    // Stratified negation via full scan.
+  kFilter,          // Constraint evaluation.
+  kBind,            // Assignment: evaluate expr into a fresh register.
+};
+
+struct Step {
+  StepKind kind = StepKind::kFilter;
+
+  // Probes and scans.
+  std::string relation;    // Base relation name (kProbe*/kScanBase).
+  int base_index_id = -1;  // Into PhysicalPlan::base_indexes.
+  int replica_id = -1;     // Into SccPlan::replicas (kProbeRecursive).
+  uint32_t probe_col = 0;
+  int probe_reg = -1;           // Register holding the probe key, or -1 ...
+  bool probe_is_const = false;  // ... when the key is this constant:
+  uint64_t probe_const = 0;
+  std::vector<OutputBinding> outputs;
+  std::vector<EqCheck> eq_checks;
+  std::vector<ConstCheck> const_checks;
+
+  // kFilter / kBind.
+  CmpOp cmp = CmpOp::kEq;
+  CompiledExpr lhs;  // kBind: the value expression.
+  CompiledExpr rhs;  // kFilter only.
+  int bind_reg = -1;
+};
+
+/// Aggregate behaviour of one derived predicate (paper §6.2.1).
+///
+/// Stored rows always have the head's arity. The wire format — what
+/// Distribute sends and Gather merges — differs for sum, which carries a
+/// per-contributor value so a contributor can replace its own previous
+/// contribution (the PageRank pattern):
+///   none:   wire = stored = full row
+///   min/max wire = stored = group cols + value
+///   count:  wire = group cols + contributor; stored = group cols + count
+///   sum:    wire = group cols + contributor + value; stored = group + sum
+struct AggSpec {
+  AggFunc func = AggFunc::kNone;
+  uint32_t group_arity = 0;
+  uint32_t stored_arity = 0;
+  uint32_t wire_arity = 0;
+  ColumnType value_type = ColumnType::kInt;  // Type of the aggregate column.
+};
+
+/// One partitioned replica of a recursive predicate: all its tuples, hash-
+/// partitioned across workers on `partition_col` of the stored row. Linear
+/// recursion needs one replica; non-linear rules route every tuple to two
+/// (paper §4.3).
+struct ReplicaSpec {
+  std::string predicate;
+  uint32_t partition_col = 0;
+  bool needs_join_index = false;  // Some rule probes this replica.
+  /// Global aggregates (no group-by columns) have a single logical group;
+  /// all their tuples route to one fixed worker instead of by column.
+  bool partition_constant = false;
+};
+
+/// The head side of a physical rule: wire-tuple construction and routing.
+struct HeadSpec {
+  std::string predicate;
+  std::vector<CompiledExpr> wire_exprs;  // One per wire column.
+  AggSpec agg;
+};
+
+/// One executable rule version: the driving scan, the step pipeline, and
+/// the head emission.
+struct PhysicalRule {
+  int rule_index = -1;
+  int delta_atom = -1;  // -1: base rule (driving scan over a relation).
+
+  /// Driving source: a recursive replica's delta (delta versions), a base
+  /// relation scanned in chunks (base rules), or the implicit unit row.
+  std::string driving_relation;
+  int driving_replica = -1;
+  bool driving_is_unit = false;
+  std::vector<OutputBinding> scan_outputs;
+  std::vector<EqCheck> scan_eq_checks;
+  std::vector<ConstCheck> scan_const_checks;
+
+  std::vector<Step> steps;
+  HeadSpec head;
+
+  uint32_t num_regs = 0;
+  std::vector<ColumnType> reg_types;
+
+  std::string ToString() const;
+};
+
+/// Request for a global read-only index over a base relation. The engine
+/// builds these before the owning SCC starts evaluating.
+struct BaseIndexReq {
+  std::string relation;
+  uint32_t col = 0;
+  bool is_hash = false;  // false: B+-tree (index join); true: hash join.
+};
+
+/// Everything the engine needs to evaluate one SCC.
+struct SccPlan {
+  int scc_id = -1;
+  bool recursive = false;
+  std::vector<std::string> derived_preds;  // Heads defined in this SCC.
+  std::vector<ReplicaSpec> replicas;       // Replica id = index here.
+  std::vector<PhysicalRule> base_rules;
+  std::vector<PhysicalRule> delta_rules;
+
+  /// Replica ids for a predicate, in registration order (the first one is
+  /// the canonical replica whose union forms the final relation).
+  std::vector<int> ReplicasOf(const std::string& pred) const;
+
+  std::string ToString() const;
+};
+
+struct PhysicalPlan {
+  std::vector<SccPlan> sccs;  // In evaluation order.
+  std::map<std::string, AggSpec> agg_specs;  // Every derived predicate.
+  std::map<std::string, Schema> schemas;     // Stored schemas, derived preds.
+  std::vector<BaseIndexReq> base_indexes;
+  std::vector<std::string> outputs;  // Program's .output list (may be empty).
+
+  std::string ToString() const;
+};
+
+/// Compiles the logical plans into a physical plan (paper §5.2): assigns
+/// partition columns and replicas, selects join methods via the paper's
+/// heuristic (hash join when two or more base atoms in a rule probe on the
+/// same key variable, index join when an index is available, nested loop
+/// otherwise), performs register allocation, and validates that recursive
+/// probes stay partition-local.
+Result<PhysicalPlan> BuildPhysicalPlan(
+    const Program& program, const ProgramAnalysis& analysis,
+    const std::vector<LogicalRulePlan>& logical_plans);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_PLANNER_PHYSICAL_PLAN_H_

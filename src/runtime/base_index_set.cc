@@ -1,0 +1,33 @@
+#include "runtime/base_index_set.h"
+
+namespace dcdatalog {
+
+BaseIndexSet::BaseIndexSet(const std::vector<BaseIndexReq>& requests) {
+  entries_.resize(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    entries_[i].req = requests[i];
+  }
+}
+
+Status BaseIndexSet::EnsureBuilt(int id, const Catalog& catalog) {
+  Entry& e = entries_[id];
+  if (e.built) return Status::OK();
+  e.relation = catalog.Find(e.req.relation);
+  if (e.relation == nullptr) {
+    return Status::NotFound("relation '" + e.req.relation +
+                            "' not materialized before index build");
+  }
+  if (e.req.is_hash) {
+    e.hash.Build(*e.relation, e.req.col);
+  } else {
+    e.btree = std::make_unique<BPlusTree<uint64_t, uint64_t>>();
+    const uint64_t n = e.relation->size();
+    for (uint64_t r = 0; r < n; ++r) {
+      e.btree->Insert(e.relation->Row(r)[e.req.col], r);
+    }
+  }
+  e.built = true;
+  return Status::OK();
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,63 @@
+#ifndef DCDATALOG_RUNTIME_BASE_INDEX_SET_H_
+#define DCDATALOG_RUNTIME_BASE_INDEX_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "planner/physical_plan.h"
+#include "storage/btree.h"
+#include "storage/catalog.h"
+#include "storage/hash_index.h"
+
+namespace dcdatalog {
+
+/// The global read-only indexes over base relations that join probes use
+/// (Algorithm 1 line 3). "Base" here means any relation that is input to
+/// the SCC being evaluated: EDB tables and the materialized results of
+/// earlier SCCs. Indexes are built lazily — EnsureBuilt runs before an SCC
+/// starts, because an earlier SCC may only just have materialized the
+/// relation — and are then probed concurrently by all workers without
+/// synchronization.
+class BaseIndexSet {
+ public:
+  explicit BaseIndexSet(const std::vector<BaseIndexReq>& requests);
+
+  /// Builds index `id` from the catalog if it is not built yet.
+  Status EnsureBuilt(int id, const Catalog& catalog);
+
+  bool IsBuilt(int id) const { return entries_[id].built; }
+
+  /// fn(TupleRef row) for each row of the indexed relation whose key column
+  /// equals `key`.
+  template <typename Fn>
+  void ForEachMatch(int id, uint64_t key, Fn&& fn) const {
+    const Entry& e = entries_[id];
+    if (e.req.is_hash) {
+      e.hash.ForEachMatch(key, [&](uint64_t row_id) {
+        fn(e.relation->Row(row_id));
+        return true;
+      });
+    } else {
+      e.btree->ForEachEqual(key, [&](const uint64_t& row_id) {
+        fn(e.relation->Row(row_id));
+        return true;
+      });
+    }
+  }
+
+ private:
+  struct Entry {
+    BaseIndexReq req;
+    const Relation* relation = nullptr;
+    bool built = false;
+    HashIndex hash;
+    std::unique_ptr<BPlusTree<uint64_t, uint64_t>> btree;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_BASE_INDEX_SET_H_

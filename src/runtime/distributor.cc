@@ -1,0 +1,89 @@
+#include "runtime/distributor.h"
+
+#include "common/logging.h"
+#include "common/value.h"
+
+namespace dcdatalog {
+namespace {
+
+bool Better(const AggSpec& spec, uint64_t candidate, uint64_t current) {
+  if (spec.value_type == ColumnType::kDouble) {
+    const double c = DoubleFromWord(candidate);
+    const double v = DoubleFromWord(current);
+    return spec.func == AggFunc::kMin ? c < v : c > v;
+  }
+  const int64_t c = IntFromWord(candidate);
+  const int64_t v = IntFromWord(current);
+  return spec.func == AggFunc::kMin ? c < v : c > v;
+}
+
+}  // namespace
+
+Distributor::Distributor(const SccPlan* scc, uint32_t num_workers,
+                         bool partial_agg, SinkFn sink)
+    : scc_(scc),
+      num_workers_(num_workers),
+      partial_agg_(partial_agg),
+      sink_(std::move(sink)) {}
+
+Distributor::PerPredicate& Distributor::StateFor(const HeadSpec& head) {
+  auto [it, inserted] = per_pred_.try_emplace(head.predicate);
+  PerPredicate& pp = it->second;
+  if (inserted) {
+    pp.head = &head;
+    pp.replica_ids = scc_->ReplicasOf(head.predicate);
+    DCD_CHECK(!pp.replica_ids.empty());
+  }
+  return pp;
+}
+
+void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
+  const uint32_t arity = pp.head->agg.wire_arity;
+  WireMsg msg;
+  std::memcpy(msg.w, wire, arity * sizeof(uint64_t));
+  for (int rid : pp.replica_ids) {
+    const ReplicaSpec& replica = scc_->replicas[rid];
+    msg.tag = static_cast<uint64_t>(rid);
+    const uint64_t key =
+        replica.partition_constant ? 0 : wire[replica.partition_col];
+    const uint32_t dest = PartitionOf(key, num_workers_);
+    sink_(dest, msg);
+    ++tuples_routed_;
+  }
+}
+
+void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
+  ++tuples_emitted_;
+  PerPredicate& pp = StateFor(head);
+  const AggSpec& spec = head.agg;
+  const bool foldable = partial_agg_ && (spec.func == AggFunc::kMin ||
+                                         spec.func == AggFunc::kMax);
+  if (!foldable) {
+    Route(pp, wire);
+    return;
+  }
+  U128 group;
+  group.hi = spec.group_arity > 0 ? wire[0] : 0;
+  group.lo = spec.group_arity > 1 ? wire[1] : 0;
+  const uint32_t value_col = spec.stored_arity - 1;
+  auto [it, inserted] = pp.partial.try_emplace(group);
+  if (inserted) {
+    std::memcpy(it->second.w, wire, spec.wire_arity * sizeof(uint64_t));
+    return;
+  }
+  ++tuples_folded_;
+  if (Better(spec, wire[value_col], it->second.w[value_col])) {
+    std::memcpy(it->second.w, wire, spec.wire_arity * sizeof(uint64_t));
+  }
+}
+
+void Distributor::Flush() {
+  for (auto& [pred, pp] : per_pred_) {
+    for (const auto& [group, msg] : pp.partial) {
+      Route(pp, msg.w);
+    }
+    pp.partial.clear();
+  }
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,74 @@
+#ifndef DCDATALOG_RUNTIME_DISTRIBUTOR_H_
+#define DCDATALOG_RUNTIME_DISTRIBUTOR_H_
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "planner/physical_plan.h"
+#include "runtime/message.h"
+#include "storage/btree.h"
+
+namespace dcdatalog {
+
+/// The Distribute operator (paper §5.2.3): splits the wire tuples a local
+/// iteration derives into partitions via the hash function H and hands them
+/// to the sink (the worker's queue-push routine). For min/max heads it
+/// first performs partial aggregation (Figure 7) — only the per-group best
+/// of this iteration crosses worker boundaries.
+///
+/// One instance per worker; not synchronized.
+class Distributor {
+ public:
+  /// sink(dest_worker, msg) enqueues one message; it must handle
+  /// backpressure itself.
+  using SinkFn = std::function<void(uint32_t, const WireMsg&)>;
+
+  Distributor(const SccPlan* scc, uint32_t num_workers, bool partial_agg,
+              SinkFn sink);
+
+  /// Accepts one wire tuple derived for `head`. Min/max tuples are folded
+  /// into the partial-aggregation buffer; everything else routes at once.
+  void Emit(const HeadSpec& head, const uint64_t* wire);
+
+  /// Routes all buffered partial aggregates. Call once per local iteration,
+  /// after the last rule ran.
+  void Flush();
+
+  uint64_t tuples_routed() const { return tuples_routed_; }
+  uint64_t tuples_folded() const { return tuples_folded_; }
+  uint64_t tuples_emitted() const { return tuples_emitted_; }
+
+ private:
+  struct U128Hash {
+    size_t operator()(const U128& k) const {
+      return static_cast<size_t>(HashCombine(k.hi, k.lo));
+    }
+  };
+  struct PerPredicate {
+    const HeadSpec* head = nullptr;  // Any rule's head for this predicate.
+    std::vector<int> replica_ids;
+    std::unordered_map<U128, WireMsg, U128Hash> partial;
+  };
+
+  void Route(const PerPredicate& pp, const uint64_t* wire);
+
+  PerPredicate& StateFor(const HeadSpec& head);
+
+  const SccPlan* scc_;
+  const uint32_t num_workers_;
+  const bool partial_agg_;
+  SinkFn sink_;
+  std::map<std::string, PerPredicate> per_pred_;
+  uint64_t tuples_routed_ = 0;
+  uint64_t tuples_folded_ = 0;
+  uint64_t tuples_emitted_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_DISTRIBUTOR_H_

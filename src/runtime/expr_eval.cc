@@ -1,0 +1,136 @@
+#include "runtime/expr_eval.h"
+
+#include "common/logging.h"
+
+namespace dcdatalog {
+namespace {
+
+double AsDouble(const CompiledExpr& e, uint64_t word) {
+  return e.type == ColumnType::kDouble
+             ? DoubleFromWord(word)
+             : static_cast<double>(IntFromWord(word));
+}
+
+}  // namespace
+
+uint64_t EvalExpr(const CompiledExpr& expr, const uint64_t* regs) {
+  switch (expr.op) {
+    case ExprOp::kVar:
+      return regs[expr.reg];
+    case ExprOp::kConst:
+      return expr.const_word;
+    case ExprOp::kToDouble: {
+      uint64_t inner = EvalExpr(*expr.lhs, regs);
+      return WordFromDouble(AsDouble(*expr.lhs, inner));
+    }
+    case ExprOp::kNeg: {
+      uint64_t inner = EvalExpr(*expr.lhs, regs);
+      if (expr.type == ColumnType::kDouble) {
+        return WordFromDouble(-AsDouble(*expr.lhs, inner));
+      }
+      return WordFromInt(-IntFromWord(inner));
+    }
+    default: {
+      const uint64_t l = EvalExpr(*expr.lhs, regs);
+      const uint64_t r = EvalExpr(*expr.rhs, regs);
+      if (expr.type == ColumnType::kDouble) {
+        const double a = AsDouble(*expr.lhs, l);
+        const double b = AsDouble(*expr.rhs, r);
+        switch (expr.op) {
+          case ExprOp::kAdd:
+            return WordFromDouble(a + b);
+          case ExprOp::kSub:
+            return WordFromDouble(a - b);
+          case ExprOp::kMul:
+            return WordFromDouble(a * b);
+          case ExprOp::kDiv:
+            return WordFromDouble(a / b);
+          default:
+            break;
+        }
+      } else {
+        const int64_t a = IntFromWord(l);
+        const int64_t b = IntFromWord(r);
+        switch (expr.op) {
+          case ExprOp::kAdd:
+            return WordFromInt(a + b);
+          case ExprOp::kSub:
+            return WordFromInt(a - b);
+          case ExprOp::kMul:
+            return WordFromInt(a * b);
+          case ExprOp::kDiv:
+            // Integer division; division by zero yields 0 rather than UB —
+            // a deliberate, documented total semantics for rule arithmetic.
+            return WordFromInt(b == 0 ? 0 : a / b);
+          default:
+            break;
+        }
+      }
+      DCD_CHECK(false);
+      return 0;
+    }
+  }
+}
+
+bool EvalCompare(CmpOp op, const CompiledExpr& lhs, const CompiledExpr& rhs,
+                 const uint64_t* regs) {
+  const uint64_t l = EvalExpr(lhs, regs);
+  const uint64_t r = EvalExpr(rhs, regs);
+  if (lhs.type == ColumnType::kString || rhs.type == ColumnType::kString) {
+    switch (op) {
+      case CmpOp::kEq:
+        return l == r;
+      case CmpOp::kNe:
+        return l != r;
+      case CmpOp::kLt:
+        return l < r;
+      case CmpOp::kLe:
+        return l <= r;
+      case CmpOp::kGt:
+        return l > r;
+      case CmpOp::kGe:
+        return l >= r;
+    }
+  }
+  if (lhs.type == ColumnType::kDouble || rhs.type == ColumnType::kDouble) {
+    const double a = AsDouble(lhs, l);
+    const double b = AsDouble(rhs, r);
+    switch (op) {
+      case CmpOp::kEq:
+        return a == b;
+      case CmpOp::kNe:
+        return a != b;
+      case CmpOp::kLt:
+        return a < b;
+      case CmpOp::kLe:
+        return a <= b;
+      case CmpOp::kGt:
+        return a > b;
+      case CmpOp::kGe:
+        return a >= b;
+    }
+  }
+  const int64_t a = IntFromWord(l);
+  const int64_t b = IntFromWord(r);
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+namespace {
+// Silence unused warning for AsDouble when compiled out; no-op.
+}  // namespace
+
+}  // namespace dcdatalog

@@ -1,0 +1,23 @@
+#ifndef DCDATALOG_RUNTIME_EXPR_EVAL_H_
+#define DCDATALOG_RUNTIME_EXPR_EVAL_H_
+
+#include <cstdint>
+
+#include "common/value.h"
+#include "planner/physical_plan.h"
+
+namespace dcdatalog {
+
+/// Evaluates a compiled expression against the register file. The result is
+/// a raw word whose interpretation is `expr.type` (int64 or double bits).
+uint64_t EvalExpr(const CompiledExpr& expr, const uint64_t* regs);
+
+/// Evaluates a comparison between two compiled expressions. Numeric
+/// operands are compared in double space when either side is double;
+/// strings compare by dictionary id (equality is exact; ordering is by id).
+bool EvalCompare(CmpOp op, const CompiledExpr& lhs, const CompiledExpr& rhs,
+                 const uint64_t* regs);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_EXPR_EVAL_H_

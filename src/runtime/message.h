@@ -1,0 +1,23 @@
+#ifndef DCDATALOG_RUNTIME_MESSAGE_H_
+#define DCDATALOG_RUNTIME_MESSAGE_H_
+
+#include <cstdint>
+
+namespace dcdatalog {
+
+/// Maximum wire-tuple width carried by one message.
+inline constexpr uint32_t kMaxWireWords = 7;
+
+/// The unit of inter-worker communication: one wire tuple tagged with the
+/// replica it belongs to. Exactly one cache line, so the SPSC rings move
+/// whole messages without false sharing.
+struct WireMsg {
+  uint64_t tag = 0;  // Replica id within the SCC being evaluated.
+  uint64_t w[kMaxWireWords];
+};
+
+static_assert(sizeof(WireMsg) == 64, "WireMsg must be one cache line");
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_MESSAGE_H_

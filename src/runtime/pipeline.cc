@@ -1,0 +1,150 @@
+#include "runtime/pipeline.h"
+
+#include "common/logging.h"
+#include "runtime/expr_eval.h"
+
+namespace dcdatalog {
+namespace {
+
+/// Applies a step's residual checks to a matched tuple and, on success,
+/// binds its output columns into registers. Returns false on any mismatch.
+bool ApplyChecksAndBind(const Step& step, TupleRef tuple, uint64_t* regs) {
+  for (const ConstCheck& c : step.const_checks) {
+    if (tuple[c.col] != c.word) return false;
+  }
+  // Outputs bind only freshly allocated registers, so writing them before
+  // the equality checks is safe — and necessary for repeated variables
+  // within one atom (q(Y, Y)), where the check compares against the
+  // just-bound first occurrence.
+  for (const OutputBinding& b : step.outputs) {
+    regs[b.reg] = tuple[b.col];
+  }
+  for (const EqCheck& c : step.eq_checks) {
+    if (tuple[c.col] != regs[c.reg]) return false;
+  }
+  return true;
+}
+
+void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
+                 size_t step_idx, const EmitFn& emit) {
+  if (step_idx == rule.steps.size()) {
+    emit(ctx.regs);
+    return;
+  }
+  const Step& step = rule.steps[step_idx];
+  switch (step.kind) {
+    case StepKind::kFilter:
+      if (EvalCompare(step.cmp, step.lhs, step.rhs, ctx.regs)) {
+        ExecuteFrom(rule, ctx, step_idx + 1, emit);
+      }
+      return;
+    case StepKind::kBind:
+      ctx.regs[step.bind_reg] = EvalExpr(step.lhs, ctx.regs);
+      ExecuteFrom(rule, ctx, step_idx + 1, emit);
+      return;
+    case StepKind::kProbeBaseHash:
+    case StepKind::kProbeBaseBTree: {
+      const uint64_t key =
+          step.probe_is_const ? step.probe_const : ctx.regs[step.probe_reg];
+      ctx.base_indexes->ForEachMatch(
+          step.base_index_id, key, [&](TupleRef row) {
+            if (ApplyChecksAndBind(step, row, ctx.regs)) {
+              ExecuteFrom(rule, ctx, step_idx + 1, emit);
+            }
+          });
+      return;
+    }
+    case StepKind::kScanBase: {
+      const Relation* rel = ctx.catalog->Find(step.relation);
+      DCD_CHECK(rel != nullptr);
+      const uint64_t n = rel->size();
+      for (uint64_t r = 0; r < n; ++r) {
+        if (ApplyChecksAndBind(step, rel->Row(r), ctx.regs)) {
+          ExecuteFrom(rule, ctx, step_idx + 1, emit);
+        }
+      }
+      return;
+    }
+    case StepKind::kAntiJoinBTree: {
+      const uint64_t key =
+          step.probe_is_const ? step.probe_const : ctx.regs[step.probe_reg];
+      bool found = false;
+      ctx.base_indexes->ForEachMatch(
+          step.base_index_id, key, [&](TupleRef row) {
+            if (found) return;
+            bool match = true;
+            for (const ConstCheck& c : step.const_checks) {
+              if (row[c.col] != c.word) match = false;
+            }
+            for (const EqCheck& c : step.eq_checks) {
+              if (row[c.col] != ctx.regs[c.reg]) match = false;
+            }
+            found = found || match;
+          });
+      if (!found) ExecuteFrom(rule, ctx, step_idx + 1, emit);
+      return;
+    }
+    case StepKind::kAntiJoinScan: {
+      const Relation* rel = ctx.catalog->Find(step.relation);
+      DCD_CHECK(rel != nullptr);
+      const uint64_t n = rel->size();
+      bool found = false;
+      for (uint64_t r = 0; r < n && !found; ++r) {
+        TupleRef row = rel->Row(r);
+        bool match = true;
+        for (const ConstCheck& c : step.const_checks) {
+          if (row[c.col] != c.word) match = false;
+        }
+        for (const EqCheck& c : step.eq_checks) {
+          if (row[c.col] != ctx.regs[c.reg]) match = false;
+        }
+        found = match;
+      }
+      if (!found) ExecuteFrom(rule, ctx, step_idx + 1, emit);
+      return;
+    }
+    case StepKind::kProbeRecursive: {
+      const uint64_t key = ctx.regs[step.probe_reg];
+      const RecursiveTable& table = *(*ctx.replicas)[step.replica_id];
+      table.ForEachJoinMatch(key, [&](TupleRef row) {
+        if (ApplyChecksAndBind(step, row, ctx.regs)) {
+          ExecuteFrom(rule, ctx, step_idx + 1, emit);
+        }
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
+                         TupleRef driving, const EmitFn& emit) {
+  for (const ConstCheck& c : rule.scan_const_checks) {
+    if (driving[c.col] != c.word) return;
+  }
+  for (const OutputBinding& b : rule.scan_outputs) {
+    ctx.regs[b.reg] = driving[b.col];
+  }
+  // Eq checks on the driving scan handle repeated variables within the
+  // atom, e.g. p(X, X): the first occurrence binds, later ones compare.
+  for (const EqCheck& c : rule.scan_eq_checks) {
+    if (driving[c.col] != ctx.regs[c.reg]) return;
+  }
+  ExecuteFrom(rule, ctx, 0, emit);
+}
+
+void RunPipelineUnit(const PhysicalRule& rule, const PipelineContext& ctx,
+                     const EmitFn& emit) {
+  DCD_DCHECK(rule.driving_is_unit);
+  ExecuteFrom(rule, ctx, 0, emit);
+}
+
+void BuildWireTuple(const HeadSpec& head, const uint64_t* regs,
+                    uint64_t* wire) {
+  for (size_t i = 0; i < head.wire_exprs.size(); ++i) {
+    wire[i] = EvalExpr(head.wire_exprs[i], regs);
+  }
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,46 @@
+#ifndef DCDATALOG_RUNTIME_PIPELINE_H_
+#define DCDATALOG_RUNTIME_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "planner/physical_plan.h"
+#include "runtime/base_index_set.h"
+#include "runtime/recursive_table.h"
+#include "storage/catalog.h"
+
+namespace dcdatalog {
+
+/// Everything a worker needs to execute rule pipelines: shared read-only
+/// structures plus this worker's own replicas and register scratch.
+struct PipelineContext {
+  const Catalog* catalog = nullptr;
+  const BaseIndexSet* base_indexes = nullptr;
+  /// This worker's replica partitions, indexed by replica id.
+  const std::vector<std::unique_ptr<RecursiveTable>>* replicas = nullptr;
+  /// Register scratch, at least PhysicalRule::num_regs wide.
+  uint64_t* regs = nullptr;
+};
+
+/// Emission callback: registers are loaded; the callee evaluates the head's
+/// wire expressions and routes the tuple.
+using EmitFn = std::function<void(const uint64_t* regs)>;
+
+/// Executes `rule`'s step pipeline for one driving tuple (a delta row or a
+/// scanned base row): applies the driving scan's bindings and checks, then
+/// runs probes/filters/binds depth-first, calling `emit` per derivation.
+void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
+                         TupleRef driving, const EmitFn& emit);
+
+/// Executes a unit-driven rule (no body atoms): runs the pipeline once.
+void RunPipelineUnit(const PhysicalRule& rule, const PipelineContext& ctx,
+                     const EmitFn& emit);
+
+/// Evaluates the head's wire expressions into `wire` (wire_arity words).
+void BuildWireTuple(const HeadSpec& head, const uint64_t* regs,
+                    uint64_t* wire);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_PIPELINE_H_

@@ -1,0 +1,149 @@
+#ifndef DCDATALOG_RUNTIME_RECURSIVE_TABLE_H_
+#define DCDATALOG_RUNTIME_RECURSIVE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "planner/physical_plan.h"
+#include "storage/btree.h"
+#include "storage/dyn_index.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace dcdatalog {
+
+/// One worker's partition of one replica of a recursive (or derived)
+/// predicate: the stored rows R_i, the indexes that implement semi-naive
+/// set-difference and aggregate merging (paper §6.2.1), the optional
+/// existence cache (§6.2.2), the join index probed by non-linear rules,
+/// and the delta δR_i feeding the next local iteration.
+///
+/// Merge semantics by aggregate function (wire → stored):
+///   none:   insert if the full tuple is new (B+-tree existence index).
+///   min/max: group key (≤ 2 columns) → keep best value, update in place.
+///   count:  (group ≤ 1 column, contributor) → count distinct contributors.
+///   sum:    (group ≤ 1 column, contributor, value) → each contributor's
+///           latest value replaces its previous one (the PageRank pattern);
+///           changes below EngineOptions::sum_epsilon do not re-enter δ.
+///
+/// Every state change appends the new stored row to the delta. Not
+/// internally synchronized — each worker owns its tables.
+class RecursiveTable {
+ public:
+  RecursiveTable(const std::string& name, Schema stored_schema, AggSpec spec,
+                 uint32_t partition_col, bool needs_join_index,
+                 const EngineOptions& options);
+
+  /// Merges a batch of wire tuples. With enable_aggregate_index this is a
+  /// per-tuple indexed merge; without it, aggregate groups are merged by a
+  /// single linear scan over the stored rows (the paper's unoptimized
+  /// baseline for the Table 4 ablation).
+  void MergeBatch(const std::vector<TupleBuf>& wires);
+
+  /// Merges one wire tuple through the indexed path. Returns true if the
+  /// table changed (and the delta grew).
+  bool MergeWire(const uint64_t* wire);
+
+  // --- Delta (δR_i) ---
+  const std::vector<TupleBuf>& delta() const { return delta_; }
+  uint64_t delta_size() const { return delta_.size(); }
+  void ClearDelta() { delta_.clear(); }
+
+  /// Moves the current delta out and leaves an empty one. The worker
+  /// iterates the snapshot while backpressure-driven gathers may grow the
+  /// fresh delta concurrently (same thread, interleaved calls).
+  std::vector<TupleBuf> TakeDelta() {
+    std::vector<TupleBuf> out = std::move(delta_);
+    delta_.clear();
+    return out;
+  }
+
+  // --- Stored rows ---
+  const Relation& rows() const { return rows_; }
+  uint32_t stored_arity() const { return spec_.stored_arity; }
+  uint32_t wire_arity() const { return spec_.wire_arity; }
+  const AggSpec& agg_spec() const { return spec_; }
+  uint32_t partition_col() const { return partition_col_; }
+
+  /// Probes the join index: fn(TupleRef stored_row) for each row whose
+  /// partition-column value equals `key`. Requires needs_join_index.
+  template <typename Fn>
+  void ForEachJoinMatch(uint64_t key, Fn&& fn) const {
+    join_index_.ForEachMatch(key, [&](uint64_t row_id) {
+      fn(rows_.Row(row_id));
+      return true;
+    });
+  }
+
+  // --- Statistics ---
+  uint64_t merges() const { return merges_; }
+  uint64_t accepts() const { return accepts_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  U128 GroupKey(const uint64_t* wire) const {
+    U128 k;
+    k.hi = spec_.group_arity > 0 ? wire[0] : 0;
+    k.lo = spec_.group_arity > 1 ? wire[1] : 0;
+    return k;
+  }
+
+  bool BetterValue(uint64_t candidate, uint64_t current) const;
+
+  uint64_t AppendRow(const uint64_t* stored);
+
+  /// Marks a row as changed. Outside batch mode it enters the delta
+  /// immediately; inside MergeBatch each changed row enters once, after the
+  /// whole batch merged — otherwise m updates to one aggregate group would
+  /// spawn m delta rows and the join fan-out would grow exponentially with
+  /// the iteration count (catastrophic for sum-in-recursion).
+  void PushDelta(uint64_t row_id);
+
+  bool MergeNone(const uint64_t* wire);
+  bool MergeMinMax(const uint64_t* wire);
+  bool MergeCount(const uint64_t* wire);
+  bool MergeSum(const uint64_t* wire);
+
+  /// Linear-scan merge for min/max batches (ablation path).
+  void MergeMinMaxBatchByScan(const std::vector<TupleBuf>& wires);
+
+  // Existence cache (§6.2.2): direct-mapped, one slot = candidate row id+1.
+  bool CacheCheckDuplicate(TupleRef tuple, uint64_t hash) const;
+  void CacheFill(uint64_t hash, uint64_t row_id);
+
+  const AggSpec spec_;
+  const uint32_t partition_col_;
+  const bool use_join_index_;
+  const bool use_agg_index_;
+  const bool use_cache_;
+  const double sum_epsilon_;
+
+  Relation rows_;
+  std::vector<TupleBuf> delta_;
+
+  // For kNone: key = (tuple hash, row id) — exact after row comparison.
+  // For aggregates: key = group key, value = row id.
+  BPlusTree<U128, uint64_t> group_index_;
+  // For count/sum: key = (group word, contributor), value = last value word
+  // (sum) or unused (count).
+  BPlusTree<U128, uint64_t> contrib_index_;
+
+  DynIndex join_index_;
+
+  std::vector<uint64_t> cache_slots_;  // row id + 1; 0 = empty.
+  uint64_t cache_mask_ = 0;
+
+  // Batch-mode delta deduplication (see PushDelta).
+  bool batch_mode_ = false;
+  std::vector<uint64_t> batch_changed_rows_;
+
+  uint64_t merges_ = 0;
+  uint64_t accepts_ = 0;
+  uint64_t cache_hits_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_RUNTIME_RECURSIVE_TABLE_H_

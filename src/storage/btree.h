@@ -1,0 +1,312 @@
+#ifndef DCDATALOG_STORAGE_BTREE_H_
+#define DCDATALOG_STORAGE_BTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dcdatalog {
+
+/// 128-bit composite key (two tuple words, lexicographic order). Used to
+/// index recursive tables on (group-by key, secondary) pairs, e.g. the
+/// ⟨X, Y⟩ contribution index PageRank needs (paper §6.2.1).
+struct U128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const U128& a, const U128& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator<(const U128& a, const U128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// In-memory B+-tree with multimap semantics (duplicate keys permitted,
+/// clustered together). Supports insert, point lookup, in-place value
+/// update and ordered range scans; deletion is intentionally absent because
+/// semi-naive evaluation only appends or overwrites.
+///
+/// This is the index the storage layer builds on base-relation join keys and
+/// on recursive tables (paper §3, §5.2.1, §6.2.1). Not internally
+/// synchronized: each worker owns the indexes of its partition.
+template <typename Key, typename Value, int kLeafCap = 64, int kInnerCap = 64>
+class BPlusTree {
+  struct Leaf;
+  struct Inner;
+
+  /// Tagged node pointer. Leaves and inner nodes are separate types; the
+  /// tree height tells us which levels hold which.
+  union NodePtr {
+    Leaf* leaf;
+    Inner* inner;
+  };
+
+  struct Leaf {
+    int count = 0;
+    Leaf* next = nullptr;
+    Key keys[kLeafCap];
+    Value values[kLeafCap];
+  };
+
+  struct Inner {
+    int count = 0;  // Number of keys; children = count + 1.
+    Key keys[kInnerCap];
+    NodePtr children[kInnerCap + 1];
+  };
+
+ public:
+  BPlusTree() {
+    root_.leaf = new Leaf();
+    height_ = 0;  // Height 0: the root is a leaf.
+    first_leaf_ = root_.leaf;
+  }
+
+  ~BPlusTree() { Destroy(root_, height_); }
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  BPlusTree(BPlusTree&& other) noexcept
+      : root_(other.root_),
+        first_leaf_(other.first_leaf_),
+        height_(other.height_),
+        size_(other.size_) {
+    other.root_.leaf = new Leaf();
+    other.first_leaf_ = other.root_.leaf;
+    other.height_ = 0;
+    other.size_ = 0;
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  /// Forward iterator over (key, value) entries in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const Leaf* leaf, int idx) : leaf_(leaf), idx_(idx) {
+      SkipEmpty();
+    }
+
+    bool AtEnd() const { return leaf_ == nullptr; }
+    const Key& key() const { return leaf_->keys[idx_]; }
+    const Value& value() const { return leaf_->values[idx_]; }
+
+    Iterator& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+
+   private:
+    void SkipEmpty() {
+      while (leaf_ != nullptr && idx_ >= leaf_->count) {
+        leaf_ = leaf_->next;
+        idx_ = 0;
+      }
+    }
+
+    const Leaf* leaf_ = nullptr;
+    int idx_ = 0;
+  };
+
+  /// Inserts (key, value); duplicates of `key` are kept, the new entry is
+  /// placed after existing equal keys.
+  void Insert(const Key& key, const Value& value) {
+    SplitResult split = InsertRec(root_, height_, key, value);
+    if (split.happened) {
+      auto* new_root = new Inner();
+      new_root->count = 1;
+      new_root->keys[0] = split.sep_key;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.right;
+      root_.inner = new_root;
+      ++height_;
+    }
+    ++size_;
+  }
+
+  /// Iterator positioned at the first entry with key >= `key`.
+  ///
+  /// Duplicates may straddle a separator, so the descent uses lower_bound at
+  /// inner nodes (go as far left as an equal separator allows); if that
+  /// lands one leaf early, the leaf chain carries the scan forward.
+  Iterator LowerBound(const Key& key) const {
+    NodePtr node = root_;
+    for (int level = height_; level > 0; --level) {
+      const Inner* inner = node.inner;
+      int i = static_cast<int>(
+          std::lower_bound(inner->keys, inner->keys + inner->count, key) -
+          inner->keys);
+      node = inner->children[i];
+    }
+    const Leaf* leaf = node.leaf;
+    int i = static_cast<int>(
+        std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+        leaf->keys);
+    return Iterator(leaf, i);
+  }
+
+  Iterator Begin() const { return Iterator(first_leaf_, 0); }
+
+  /// Pointer to the value of the first entry equal to `key`, or nullptr.
+  /// The caller may overwrite the value in place (aggregate merge path).
+  Value* FindFirst(const Key& key) {
+    Iterator it = LowerBound(key);
+    if (it.AtEnd() || key < it.key()) return nullptr;
+    // The tree owns its nodes and this method is non-const, so granting
+    // mutable access to the located value is sound.
+    return const_cast<Value*>(&it.value());
+  }
+
+  bool Contains(const Key& key) const {
+    Iterator it = LowerBound(key);
+    return !it.AtEnd() && !(key < it.key());
+  }
+
+  /// Calls fn(value) for every entry with key == `key`. fn returns false to
+  /// stop early. Returns number of entries visited.
+  template <typename Fn>
+  uint64_t ForEachEqual(const Key& key, Fn&& fn) const {
+    uint64_t n = 0;
+    for (Iterator it = LowerBound(key); !it.AtEnd(); ++it) {
+      if (key < it.key()) break;
+      ++n;
+      if (!fn(it.value())) break;
+    }
+    return n;
+  }
+
+ private:
+  struct SplitResult {
+    bool happened = false;
+    Key sep_key{};
+    NodePtr right{};
+  };
+
+  SplitResult InsertRec(NodePtr node, int level, const Key& key,
+                        const Value& value) {
+    if (level == 0) return InsertLeaf(node.leaf, key, value);
+
+    Inner* inner = node.inner;
+    int i = static_cast<int>(
+        std::upper_bound(inner->keys, inner->keys + inner->count, key) -
+        inner->keys);
+    SplitResult child_split =
+        InsertRec(inner->children[i], level - 1, key, value);
+    if (!child_split.happened) return {};
+
+    // Insert separator key + right child at position i.
+    if (inner->count < kInnerCap) {
+      std::move_backward(inner->keys + i, inner->keys + inner->count,
+                         inner->keys + inner->count + 1);
+      std::move_backward(inner->children + i + 1,
+                         inner->children + inner->count + 1,
+                         inner->children + inner->count + 2);
+      inner->keys[i] = child_split.sep_key;
+      inner->children[i + 1] = child_split.right;
+      ++inner->count;
+      return {};
+    }
+
+    // Split the inner node. Assemble the kInnerCap+1 keys logically, push
+    // the median up.
+    Key tmp_keys[kInnerCap + 1];
+    NodePtr tmp_children[kInnerCap + 2];
+    std::copy(inner->keys, inner->keys + i, tmp_keys);
+    tmp_keys[i] = child_split.sep_key;
+    std::copy(inner->keys + i, inner->keys + inner->count, tmp_keys + i + 1);
+    std::copy(inner->children, inner->children + i + 1, tmp_children);
+    tmp_children[i + 1] = child_split.right;
+    std::copy(inner->children + i + 1, inner->children + inner->count + 1,
+              tmp_children + i + 2);
+
+    const int total_keys = kInnerCap + 1;
+    const int mid = total_keys / 2;  // Key at mid moves up.
+    auto* right = new Inner();
+
+    inner->count = mid;
+    std::copy(tmp_keys, tmp_keys + mid, inner->keys);
+    std::copy(tmp_children, tmp_children + mid + 1, inner->children);
+
+    right->count = total_keys - mid - 1;
+    std::copy(tmp_keys + mid + 1, tmp_keys + total_keys, right->keys);
+    std::copy(tmp_children + mid + 1, tmp_children + total_keys + 1,
+              right->children);
+
+    SplitResult out;
+    out.happened = true;
+    out.sep_key = tmp_keys[mid];
+    out.right.inner = right;
+    return out;
+  }
+
+  SplitResult InsertLeaf(Leaf* leaf, const Key& key, const Value& value) {
+    // upper_bound: new duplicates land after existing equal keys.
+    int i = static_cast<int>(
+        std::upper_bound(leaf->keys, leaf->keys + leaf->count, key) -
+        leaf->keys);
+    if (leaf->count < kLeafCap) {
+      std::move_backward(leaf->keys + i, leaf->keys + leaf->count,
+                         leaf->keys + leaf->count + 1);
+      std::move_backward(leaf->values + i, leaf->values + leaf->count,
+                         leaf->values + leaf->count + 1);
+      leaf->keys[i] = key;
+      leaf->values[i] = value;
+      ++leaf->count;
+      return {};
+    }
+
+    // Split: left keeps the lower half, right gets the upper half plus the
+    // new entry wherever it belongs.
+    auto* right = new Leaf();
+    const int mid = (kLeafCap + 1) / 2;
+    right->count = leaf->count - mid;
+    std::copy(leaf->keys + mid, leaf->keys + leaf->count, right->keys);
+    std::copy(leaf->values + mid, leaf->values + leaf->count, right->values);
+    leaf->count = mid;
+    right->next = leaf->next;
+    leaf->next = right;
+
+    // Re-insert the pending entry: strictly-smaller keys go left; equal keys
+    // go right, consistent with the upper_bound duplicate placement. Neither
+    // leaf can split again — both counts just shrank below capacity.
+    if (key < right->keys[0]) {
+      InsertLeaf(leaf, key, value);
+    } else {
+      InsertLeaf(right, key, value);
+    }
+
+    SplitResult out;
+    out.happened = true;
+    out.sep_key = right->keys[0];
+    out.right.leaf = right;
+    return out;
+  }
+
+  void Destroy(NodePtr node, int level) {
+    if (level == 0) {
+      delete node.leaf;
+      return;
+    }
+    Inner* inner = node.inner;
+    for (int i = 0; i <= inner->count; ++i) {
+      Destroy(inner->children[i], level - 1);
+    }
+    delete inner;
+  }
+
+  NodePtr root_;
+  Leaf* first_leaf_;
+  int height_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_BTREE_H_

@@ -1,0 +1,40 @@
+#include "storage/catalog.h"
+
+namespace dcdatalog {
+
+Result<Relation*> Catalog::Create(const std::string& name, Schema schema) {
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  auto rel = std::make_unique<Relation>(name, std::move(schema));
+  Relation* ptr = rel.get();
+  relations_.emplace(name, std::move(rel));
+  return ptr;
+}
+
+Relation* Catalog::Put(Relation relation) {
+  std::string name = relation.name();
+  auto rel = std::make_unique<Relation>(std::move(relation));
+  Relation* ptr = rel.get();
+  relations_[name] = std::move(rel);
+  return ptr;
+}
+
+Relation* Catalog::Find(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* Catalog::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,47 @@
+#ifndef DCDATALOG_STORAGE_CATALOG_H_
+#define DCDATALOG_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace dcdatalog {
+
+/// Name → Relation registry for the extensional database (EDB). The engine
+/// reads base relations from here and writes derived (IDB) results back
+/// after evaluation. Not synchronized: populated before evaluation, read
+/// during, written after.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty relation; error if the name exists.
+  Result<Relation*> Create(const std::string& name, Schema schema);
+
+  /// Registers a fully built relation, replacing any previous one.
+  Relation* Put(Relation relation);
+
+  /// nullptr when absent.
+  Relation* Find(const std::string& name);
+  const Relation* Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return Find(name) != nullptr;
+  }
+
+  std::vector<std::string> Names() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_CATALOG_H_

@@ -1,0 +1,49 @@
+#include "storage/hash_index.h"
+
+#include <bit>
+
+namespace dcdatalog {
+
+void HashIndex::Build(const Relation& relation, uint32_t key_col) {
+  const uint64_t n = relation.size();
+  keys_.resize(n);
+  row_ids_.resize(n);
+  for (uint64_t r = 0; r < n; ++r) {
+    keys_[r] = relation.Row(r)[key_col];
+    row_ids_[r] = r;
+  }
+  Finish();
+}
+
+void HashIndex::BuildFromPairs(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs) {
+  keys_.resize(pairs.size());
+  row_ids_.resize(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    keys_[i] = pairs[i].first;
+    row_ids_[i] = pairs[i].second;
+  }
+  Finish();
+}
+
+void HashIndex::Finish() {
+  const uint64_t n = keys_.size();
+  if (n == 0) {
+    entries_empty_ = true;
+    buckets_.clear();
+    next_.clear();
+    return;
+  }
+  // Load factor ~0.5 over a power-of-two bucket table.
+  uint64_t buckets = std::bit_ceil(n * 2);
+  bucket_mask_ = buckets - 1;
+  buckets_.assign(buckets, kNil);
+  next_.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t b = HashMix64(keys_[i]) & bucket_mask_;
+    next_[i] = buckets_[b];
+    buckets_[b] = static_cast<uint32_t>(i);
+  }
+}
+
+}  // namespace dcdatalog

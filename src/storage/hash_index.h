@@ -1,0 +1,72 @@
+#ifndef DCDATALOG_STORAGE_HASH_INDEX_H_
+#define DCDATALOG_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/relation.h"
+
+namespace dcdatalog {
+
+/// Immutable-after-build hash index mapping a 64-bit join key to the row ids
+/// of a relation that carry it. Built once per base-relation partition
+/// before evaluation starts (Algorithm 1 line 3) and then probed read-only
+/// by the join operators, so no synchronization is needed.
+///
+/// Layout: open chaining over two flat arrays (bucket heads + next links),
+/// which keeps the build a single pass and probes pointer-free.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Builds the index over `relation`, keyed by column `key_col`.
+  void Build(const Relation& relation, uint32_t key_col);
+
+  /// Builds over explicit (key, row_id) pairs.
+  void BuildFromPairs(const std::vector<std::pair<uint64_t, uint64_t>>& pairs);
+
+  bool built() const { return !buckets_.empty() || entries_empty_; }
+  uint64_t size() const { return keys_.size(); }
+
+  /// Calls fn(row_id) for every row whose key equals `key`. fn returns false
+  /// to stop early. Returns the number of matches visited.
+  template <typename Fn>
+  uint64_t ForEachMatch(uint64_t key, Fn&& fn) const {
+    if (buckets_.empty()) return 0;
+    uint64_t n = 0;
+    uint64_t b = HashMix64(key) & bucket_mask_;
+    for (uint32_t e = buckets_[b]; e != kNil; e = next_[e]) {
+      if (keys_[e] == key) {
+        ++n;
+        if (!fn(row_ids_[e])) break;
+      }
+    }
+    return n;
+  }
+
+  bool Contains(uint64_t key) const {
+    bool found = false;
+    ForEachMatch(key, [&found](uint64_t) {
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+ private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  void Finish();
+
+  bool entries_empty_ = false;
+  uint64_t bucket_mask_ = 0;
+  std::vector<uint32_t> buckets_;  // head entry index per bucket
+  std::vector<uint32_t> next_;     // chain links, parallel to keys_
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> row_ids_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_HASH_INDEX_H_

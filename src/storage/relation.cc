@@ -1,0 +1,39 @@
+#include "storage/relation.h"
+
+#include <sstream>
+
+namespace dcdatalog {
+
+void Relation::AppendAll(const Relation& other) {
+  DCD_CHECK(other.arity() == arity());
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+std::string Relation::ToString(uint64_t max_rows) const {
+  std::ostringstream os;
+  os << name_ << schema_.ToString() << " [" << size() << " rows]";
+  uint64_t n = std::min<uint64_t>(size(), max_rows);
+  for (uint64_t r = 0; r < n; ++r) {
+    os << "\n  (";
+    TupleRef row = Row(r);
+    for (uint32_t c = 0; c < arity(); ++c) {
+      if (c > 0) os << ", ";
+      switch (schema_.type(c)) {
+        case ColumnType::kInt:
+          os << IntFromWord(row[c]);
+          break;
+        case ColumnType::kDouble:
+          os << DoubleFromWord(row[c]);
+          break;
+        case ColumnType::kString:
+          os << "#" << row[c];
+          break;
+      }
+    }
+    os << ")";
+  }
+  if (size() > n) os << "\n  ... (" << (size() - n) << " more)";
+  return os.str();
+}
+
+}  // namespace dcdatalog

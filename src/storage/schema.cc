@@ -1,0 +1,42 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace dcdatalog {
+
+Schema Schema::Ints(size_t n) {
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    cols.push_back(Column{"c" + std::to_string(i), ColumnType::kInt});
+  }
+  return Schema(std::move(cols));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != other.columns_[i].type) return false;
+  }
+  return true;  // Column names are documentation, not identity.
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << ":" << ColumnTypeName(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dcdatalog

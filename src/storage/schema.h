@@ -1,0 +1,46 @@
+#ifndef DCDATALOG_STORAGE_SCHEMA_H_
+#define DCDATALOG_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dcdatalog {
+
+/// Column description: a name (for diagnostics / planning) and a type.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+/// Relation schema: an ordered list of typed columns. Tuples of the relation
+/// are fixed-width rows of one 64-bit word per column.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Convenience: n int columns named c0..c{n-1}.
+  static Schema Ints(size_t n);
+
+  size_t arity() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+  ColumnType type(size_t i) const { return columns_[i].type; }
+
+  /// Index of the column named `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_SCHEMA_H_

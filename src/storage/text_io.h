@@ -1,0 +1,30 @@
+#ifndef DCDATALOG_STORAGE_TEXT_IO_H_
+#define DCDATALOG_STORAGE_TEXT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/string_dict.h"
+#include "storage/relation.h"
+
+namespace dcdatalog {
+
+/// Parses a compact column-type spec: one letter per column —
+/// 'i' int64, 'd' double, 's' string — e.g. "iis" for (int, int, string).
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+/// Loads a whitespace-separated fact file into a relation named `name`
+/// with the given schema. String columns are interned into `dict`.
+/// '#' and '%' start comment lines; blank lines are skipped.
+Result<Relation> LoadRelationFile(const std::string& name,
+                                  const Schema& schema,
+                                  const std::string& path, StringDict* dict);
+
+/// Writes a relation as tab-separated text; string columns are resolved
+/// through `dict` (pass nullptr to emit raw ids).
+Status WriteRelationFile(const Relation& relation, const std::string& path,
+                         const StringDict* dict);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_TEXT_IO_H_

@@ -1,0 +1,62 @@
+#ifndef DCDATALOG_STORAGE_TUPLE_H_
+#define DCDATALOG_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dcdatalog {
+
+/// Maximum tuple arity the engine supports. The paper's workloads peak at 3
+/// columns (weighted edges, APSP paths); 8 leaves slack for user programs
+/// while keeping the fixed message-buffer element exactly one cache line.
+inline constexpr uint32_t kMaxArity = 8;
+
+/// Non-owning view of one row: `arity` consecutive 64-bit words. Cheap to
+/// copy; valid only while the backing storage is alive and unmoved.
+struct TupleRef {
+  const uint64_t* data = nullptr;
+  uint32_t arity = 0;
+
+  uint64_t operator[](size_t i) const {
+    DCD_DCHECK(i < arity);
+    return data[i];
+  }
+
+  uint64_t Hash() const { return HashWords(data, arity); }
+
+  friend bool operator==(const TupleRef& a, const TupleRef& b) {
+    return a.arity == b.arity &&
+           std::memcmp(a.data, b.data, a.arity * sizeof(uint64_t)) == 0;
+  }
+};
+
+/// Owning fixed-capacity tuple; the element type of the inter-worker SPSC
+/// message buffers (paper §6.1). Trivially copyable, 64-byte payload.
+struct TupleBuf {
+  uint64_t v[kMaxArity];
+
+  TupleBuf() = default;
+
+  explicit TupleBuf(TupleRef ref) {
+    DCD_DCHECK(ref.arity <= kMaxArity);
+    std::memcpy(v, ref.data, ref.arity * sizeof(uint64_t));
+  }
+
+  TupleBuf(std::initializer_list<uint64_t> init) {
+    DCD_DCHECK(init.size() <= kMaxArity);
+    size_t i = 0;
+    for (uint64_t w : init) v[i++] = w;
+  }
+
+  TupleRef Ref(uint32_t arity) const { return TupleRef{v, arity}; }
+};
+
+static_assert(sizeof(TupleBuf) == 64, "TupleBuf should be one cache line");
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_TUPLE_H_

@@ -1,0 +1,81 @@
+#ifndef DCDATALOG_STORAGE_TUPLE_SET_H_
+#define DCDATALOG_STORAGE_TUPLE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace dcdatalog {
+
+/// Deduplication set over the rows of a backing Relation: stores row ids,
+/// compares full tuples. Open addressing with linear probing; grows at 60 %
+/// load. This implements the set-difference of semi-naive evaluation
+/// (drop tuples already in R_i) for non-aggregate recursion.
+///
+/// Not internally synchronized — one per worker partition.
+class TupleSet {
+ public:
+  explicit TupleSet(const Relation* backing) : backing_(backing) {
+    slots_.assign(kInitialSlots, kEmpty);
+    mask_ = kInitialSlots - 1;
+  }
+
+  uint64_t size() const { return size_; }
+
+  /// Returns true if a row equal to `tuple` is present.
+  bool Contains(TupleRef tuple) const {
+    uint64_t h = tuple.Hash();
+    for (uint64_t s = h & mask_;; s = (s + 1) & mask_) {
+      uint64_t slot = slots_[s];
+      if (slot == kEmpty) return false;
+      if (backing_->Row(slot) == tuple) return true;
+    }
+  }
+
+  /// Inserts `row_id` (whose tuple must already be appended to the backing
+  /// relation) unless an equal tuple is present. Returns true if inserted.
+  bool Insert(uint64_t row_id) {
+    TupleRef tuple = backing_->Row(row_id);
+    uint64_t h = tuple.Hash();
+    for (uint64_t s = h & mask_;; s = (s + 1) & mask_) {
+      uint64_t slot = slots_[s];
+      if (slot == kEmpty) {
+        slots_[s] = row_id;
+        ++size_;
+        MaybeGrow();
+        return true;
+      }
+      if (backing_->Row(slot) == tuple) return false;
+    }
+  }
+
+ private:
+  static constexpr uint64_t kEmpty = UINT64_MAX;
+  static constexpr uint64_t kInitialSlots = 64;
+
+  void MaybeGrow() {
+    if (size_ * 5 < slots_.size() * 3) return;
+    std::vector<uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    mask_ = slots_.size() - 1;
+    for (uint64_t slot : old) {
+      if (slot == kEmpty) continue;
+      uint64_t h = backing_->Row(slot).Hash();
+      uint64_t s = h & mask_;
+      while (slots_[s] != kEmpty) s = (s + 1) & mask_;
+      slots_[s] = slot;
+    }
+  }
+
+  const Relation* backing_;
+  std::vector<uint64_t> slots_;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_TUPLE_SET_H_

@@ -1,0 +1,122 @@
+// End-to-end tests of the `dcd` command-line tool: generate a dataset,
+// run a program over it, write results, explain plans. The binary path is
+// injected by CMake as DCD_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dcdatalog {
+namespace {
+
+#ifndef DCD_CLI_PATH
+#error "DCD_CLI_PATH must be defined by the build"
+#endif
+
+struct CmdResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr merged.
+};
+
+CmdResult RunCli(const std::string& args) {
+  const std::string cmd = std::string(DCD_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  CmdResult result;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, UsageOnBadInvocation) {
+  EXPECT_NE(RunCli("").exit_code, 0);
+  EXPECT_NE(RunCli("frobnicate x y").exit_code, 0);
+  EXPECT_NE(RunCli("run").exit_code, 0);
+}
+
+TEST(CliTest, GenerateRunExplainRoundTrip) {
+  const std::string edges = TempPath("cli_edges.tsv");
+  const std::string program = TempPath("cli_tc.dl");
+  const std::string out = TempPath("cli_tc_out.tsv");
+
+  // generate
+  CmdResult gen = RunCli("generate rmat:200 " + edges + " --seed 5");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote"), std::string::npos);
+
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X, Y).\n"
+         "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n";
+  }
+
+  // explain
+  CmdResult explain =
+      RunCli("explain " + program + " --rel arc=" + edges + ":ii");
+  ASSERT_EQ(explain.exit_code, 0) << explain.output;
+  EXPECT_NE(explain.output.find("physical plan"), std::string::npos);
+  EXPECT_NE(explain.output.find("recursive"), std::string::npos);
+
+  // run with --out; arity inferred from the program (no :ii needed).
+  CmdResult run = RunCli("run " + program + " --rel arc=" + edges +
+                         " --out tc=" + out + " --workers 2 --mode dws "
+                         "--stats");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("EvalStats"), std::string::npos);
+  std::ifstream result(out);
+  ASSERT_TRUE(result.good());
+  std::string line;
+  uint64_t rows = 0;
+  while (std::getline(result, line)) ++rows;
+  EXPECT_GT(rows, 0u);
+
+  std::remove(edges.c_str());
+  std::remove(program.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, RunReportsParseAndDataErrors) {
+  const std::string program = TempPath("cli_bad.dl");
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X Y).\n";  // Missing comma.
+  }
+  CmdResult bad = RunCli("run " + program);
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("ParseError"), std::string::npos);
+
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X, Y).\n";
+  }
+  CmdResult missing =
+      RunCli("run " + program + " --rel arc=/no/such/file.tsv:ii");
+  EXPECT_NE(missing.exit_code, 0);
+  EXPECT_NE(missing.output.find("NotFound"), std::string::npos);
+  std::remove(program.c_str());
+}
+
+TEST(CliTest, GeneratorKinds) {
+  for (const char* kind :
+       {"tree:5", "gnp:200:0.01", "social:300:4", "ntree:400"}) {
+    const std::string path = TempPath("cli_gen.tsv");
+    CmdResult gen =
+        RunCli(std::string("generate ") + kind + " " + path + " --seed 1");
+    EXPECT_EQ(gen.exit_code, 0) << kind << ": " << gen.output;
+    std::remove(path.c_str());
+  }
+  EXPECT_NE(RunCli("generate nosuch:1 /tmp/x").exit_code, 0);
+}
+
+}  // namespace
+}  // namespace dcdatalog

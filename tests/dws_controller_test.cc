@@ -1,0 +1,119 @@
+// Unit tests for the DWS queueing-model controller (paper §4.2): the ω/τ
+// derivation from Equation (1) and Kingman's formula, Equation (2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dws_controller.h"
+
+namespace dcdatalog {
+namespace {
+
+EngineOptions Opts() {
+  EngineOptions o;
+  o.dws_timeout_us = 10000;  // 10 ms budget.
+  return o;
+}
+
+/// Feeds a steady arrival stream: one drain of `per_drain` tuples every
+/// `interval_ns` from source `j`.
+void FeedArrivals(DwsController* dws, uint32_t j, int drains,
+                  int64_t interval_ns, uint64_t per_drain) {
+  int64_t now = 1;
+  for (int i = 0; i < drains; ++i) {
+    dws->OnDrain(j, per_drain, now);
+    now += interval_ns;
+  }
+}
+
+TEST(DwsControllerTest, NoServiceSamplesMeansNoWaiting) {
+  DwsController dws(2, Opts());
+  FeedArrivals(&dws, 0, 10, 1000000, 5);
+  dws.Update({0, 0});
+  EXPECT_EQ(dws.omega(), 0.0);
+  EXPECT_EQ(dws.tau_ns(), 0);
+}
+
+TEST(DwsControllerTest, SteadyStateMatchesKingman) {
+  DwsController dws(1, Opts());
+  // Arrivals: 1 tuple per 1 ms → λ = 1000/s; constant intervals → σ_a² = 0.
+  FeedArrivals(&dws, 0, 100, 1000000, 1);
+  // Service: 0.5 ms per tuple → μ = 2000/s; constant → σ_s² = 0.
+  for (int i = 0; i < 100; ++i) dws.OnIteration(500000, 1);
+  dws.Update({4});
+
+  EXPECT_NEAR(dws.lambda(), 1000.0, 1.0);
+  EXPECT_NEAR(dws.mu(), 2000.0, 1.0);
+  EXPECT_NEAR(dws.rho(), 0.5, 1e-3);
+  // Deterministic arrivals and service: Ca² = Cs² = 0 → L_q ≈ 0.
+  EXPECT_NEAR(dws.omega(), 0.0, 1e-6);
+}
+
+TEST(DwsControllerTest, VariabilityRaisesOmega) {
+  DwsController dws(1, Opts());
+  // Alternating fast/slow arrivals: mean 1 ms, high variance.
+  int64_t now = 1;
+  for (int i = 0; i < 200; ++i) {
+    now += (i % 2 == 0) ? 100000 : 1900000;
+    dws.OnDrain(0, 1, now);
+  }
+  for (int i = 0; i < 100; ++i) {
+    dws.OnIteration((i % 2 == 0) ? 100000 : 1500000, 1);
+  }
+  dws.Update({4});
+  EXPECT_GT(dws.rho(), 0.5);
+  EXPECT_GT(dws.omega(), 0.1);  // Kingman: variance → queue builds up.
+  EXPECT_GT(dws.tau_ns(), 0);
+  // τ = ω/λ, clamped by the timeout.
+  const double expected_tau_s = dws.omega() / dws.lambda();
+  EXPECT_NEAR(static_cast<double>(dws.tau_ns()) * 1e-9,
+              std::min(expected_tau_s, 10e-3), 1e-4);
+}
+
+TEST(DwsControllerTest, OverloadIsClampedNotInfinite) {
+  DwsController dws(1, Opts());
+  // Arrivals much faster than service: ρ would exceed 1.
+  FeedArrivals(&dws, 0, 100, 100000, 1);       // λ = 10000/s
+  for (int i = 0; i < 100; ++i) {
+    dws.OnIteration((i % 2 == 0) ? 500000 : 1500000, 1);  // μ = 1000/s
+  }
+  dws.Update({16});
+  EXPECT_LE(dws.rho(), 0.951);
+  EXPECT_TRUE(std::isfinite(dws.omega()));
+  EXPECT_LE(dws.tau_ns(), 10000 * 1000);
+}
+
+TEST(DwsControllerTest, BufferWeightsBiasTowardBusySources) {
+  // Source 0 is slow (10 ms/tuple), source 1 is fast (0.1 ms/tuple).
+  // Weighting by occupancy shifts λ toward whichever buffer is loaded.
+  auto lambda_with_weights =
+      [](uint64_t w0, uint64_t w1) {
+        DwsController dws(2, Opts());
+        FeedArrivals(&dws, 0, 50, 10000000, 1);
+        FeedArrivals(&dws, 1, 50, 100000, 1);
+        for (int i = 0; i < 10; ++i) dws.OnIteration(1000000, 2);
+        dws.Update({w0, w1});
+        return dws.lambda();
+      };
+  const double biased_slow = lambda_with_weights(100, 0);
+  const double biased_fast = lambda_with_weights(0, 100);
+  EXPECT_LT(biased_slow, biased_fast);
+  EXPECT_NEAR(biased_slow, 100.0, 20.0);  // ~1/10ms, lightly diluted (w+1).
+  EXPECT_GT(biased_fast, 4000.0);         // Pulled strongly toward 1/0.1ms.
+}
+
+TEST(DwsControllerTest, ZeroTupleDrainsKeepClockRunning) {
+  DwsController dws(1, Opts());
+  dws.OnDrain(0, 1, 1000000);
+  dws.OnDrain(0, 0, 2000000);  // Nothing arrived; no sample added.
+  dws.OnDrain(0, 0, 3000000);
+  dws.OnDrain(0, 2, 5000000);  // 4 ms since last non-empty drain, 2 tuples.
+  for (int i = 0; i < 4; ++i) dws.OnIteration(1000000, 1);
+  dws.Update({1});
+  // Mean inter-arrival = 2 ms → λ = 500/s.
+  EXPECT_NEAR(dws.lambda(), 500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dcdatalog

@@ -1,0 +1,309 @@
+// Engine- and facade-level tests: worker-count invariance, statistics,
+// abort handling, multi-SCC programs, string columns, re-runs, explain.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "core/dcdatalog.h"
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace dcdatalog {
+namespace {
+
+using testing_util::RowSet;
+
+constexpr char kTc[] =
+    "tc(X, Y) :- arc(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n";
+
+EngineOptions Opts(uint32_t workers, CoordinationMode mode) {
+  EngineOptions o;
+  o.num_workers = workers;
+  o.coordination = mode;
+  return o;
+}
+
+TEST(EngineTest, ResultInvariantAcrossWorkerCounts) {
+  Graph g = GenerateGnp(50, 0.05, 77);
+  std::set<std::vector<uint64_t>> first;
+  for (uint32_t workers : {1, 2, 3, 8}) {
+    DCDatalog db(Opts(workers, CoordinationMode::kDws));
+    db.AddGraph(g, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+    auto stats = db.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    auto rows = RowSet(*db.ResultFor("tc"));
+    if (first.empty()) {
+      first = rows;
+    } else {
+      EXPECT_EQ(rows, first) << workers << " workers";
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(EngineTest, StatsAreMeaningful) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  for (uint64_t i = 0; i < 20; ++i) g.AddEdge(i, i + 1);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_sccs, 1u);
+  EXPECT_GT(stats.value().total_local_iterations, 0u);
+  EXPECT_GT(stats.value().tuples_routed, 0u);
+  // Every routed tuple is eventually offered to a Gather.
+  EXPECT_EQ(stats.value().merges, stats.value().tuples_routed);
+  // 21 vertices chain: 210 tc facts.
+  EXPECT_EQ(stats.value().accepts, 210u);
+  EXPECT_GT(stats.value().seconds, 0.0);
+  EXPECT_NE(stats.value().ToString().find("EvalStats"), std::string::npos);
+}
+
+TEST(EngineTest, MaxIterationsAborts) {
+  // PageRank with epsilon 0 never converges; the guard must fire.
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  db.options().max_global_iterations = 20;
+  db.options().sum_epsilon = 0.0;
+  Relation matrix("matrix", Schema::Ints(3));
+  matrix.Append({0, 1, WordFromInt(1)});
+  matrix.Append({1, 0, WordFromInt(1)});
+  db.catalog().Put(std::move(matrix));
+  ASSERT_TRUE(db.LoadProgramText(
+                    "rank(X, sum<(X, I)>) :- matrix(X, _, _), I = 0.5.\n"
+                    "rank(X, sum<(Y, K)>) :- rank(Y, C), matrix(Y, X, D), "
+                    "K = 0.85 * (C / D).")
+                  .ok());
+  auto stats = db.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineTest, MultiSccPipeline) {
+  // tc feeds reach, which feeds counts — three SCCs evaluated in order.
+  DCDatalog db(Opts(3, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(5, 6);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(
+                    "tc(X, Y) :- arc(X, Y).\n"
+                    "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n"
+                    "reach(Y) :- tc(0, Y).\n"
+                    "total(count<Y>) :- reach(Y).")
+                  .ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().num_sccs, 3u);
+  EXPECT_EQ(db.ResultFor("reach")->size(), 3u);
+  ASSERT_EQ(db.ResultFor("total")->size(), 1u);
+  EXPECT_EQ(IntFromWord(db.ResultFor("total")->Row(0)[0]), 3);
+}
+
+TEST(EngineTest, StringColumnsEndToEnd) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Relation parent("parent", Schema({{"child", ColumnType::kString},
+                                    {"parent", ColumnType::kString}}));
+  const uint64_t alice = db.Intern("alice");
+  const uint64_t bob = db.Intern("bob");
+  const uint64_t carol = db.Intern("carol");
+  parent.Append({alice, bob});
+  parent.Append({bob, carol});
+  db.catalog().Put(std::move(parent));
+  ASSERT_TRUE(db.LoadProgramText(
+                    "ancestor(X, Y) :- parent(X, Y).\n"
+                    "ancestor(X, Y) :- ancestor(X, Z), parent(Z, Y).")
+                  .ok());
+  ASSERT_TRUE(db.Run().ok());
+  auto rows = RowSet(*db.ResultFor("ancestor"));
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows.count({alice, carol}) > 0);
+}
+
+TEST(EngineTest, ConstantInBodyAtomFilters) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(7, 8);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText("from_zero(Y) :- arc(0, Y).").ok());
+  ASSERT_TRUE(db.Run().ok());
+  EXPECT_EQ(db.ResultFor("from_zero")->size(), 1u);
+  EXPECT_EQ(db.ResultFor("from_zero")->Row(0)[0], 1u);
+}
+
+TEST(EngineTest, RepeatedVariableInAtom) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(1, 1);  // Will be dropped by Canonicalize? Build relation raw.
+  Relation arc("arc", Schema::Ints(2));
+  arc.Append({1, 1});
+  arc.Append({1, 2});
+  arc.Append({3, 3});
+  db.catalog().Put(std::move(arc));
+  ASSERT_TRUE(db.LoadProgramText("selfloop(X) :- arc(X, X).").ok());
+  ASSERT_TRUE(db.Run().ok());
+  auto rows = RowSet(*db.ResultFor("selfloop"));
+  EXPECT_EQ(rows, (std::set<std::vector<uint64_t>>{{1}, {3}}));
+}
+
+TEST(EngineTest, EmptyBaseRelationYieldsEmptyResults) {
+  DCDatalog db(Opts(4, CoordinationMode::kDws));
+  db.catalog().Put(Relation("arc", Schema::Ints(2)));
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(db.ResultFor("tc")->size(), 0u);
+}
+
+TEST(EngineTest, RerunReplacesResults) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  ASSERT_TRUE(db.Run().ok());
+  EXPECT_EQ(db.ResultFor("tc")->size(), 1u);
+  // Re-running after growing the input reflects the new data.
+  Graph g2;
+  g2.AddEdge(0, 1);
+  g2.AddEdge(1, 2);
+  db.AddGraph(g2, "arc");
+  ASSERT_TRUE(db.Run().ok());
+  EXPECT_EQ(db.ResultFor("tc")->size(), 3u);
+}
+
+TEST(EngineTest, RunWithoutProgramFails) {
+  DCDatalog db;
+  EXPECT_FALSE(db.Run().ok());
+  EXPECT_FALSE(db.ExplainLogical().ok());
+}
+
+TEST(EngineTest, LoadProgramFileWorks) {
+  const std::string path = ::testing::TempDir() + "/prog.dl";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(kTc, f);
+  fclose(f);
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramFile(path).ok());
+  EXPECT_FALSE(db.LoadProgramFile("/nonexistent/x.dl").ok());
+  ASSERT_TRUE(db.Run().ok());
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, ExplainPlansMentionStructure) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto logical = db.ExplainLogical();
+  ASSERT_TRUE(logical.ok());
+  EXPECT_NE(logical.value().find("Scan(δtc"), std::string::npos);
+  EXPECT_NE(logical.value().find("recursive"), std::string::npos);
+  auto physical = db.ExplainPhysical();
+  ASSERT_TRUE(physical.ok());
+  EXPECT_NE(physical.value().find("replicas"), std::string::npos);
+}
+
+TEST(EngineTest, PartialAggregationReducesTraffic) {
+  // CC on a dense-ish graph: partial aggregation must fold some tuples.
+  DCDatalog db(Opts(3, CoordinationMode::kDws));
+  Graph g = GenerateGnp(60, 0.08, 5);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(
+                    "cc2(Y, min<Y>) :- arc(Y, _).\n"
+                    "cc2(Y, min<Y>) :- arc(_, Y).\n"
+                    "cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).\n"
+                    "cc2(Y, min<Z>) :- cc2(X, Z), arc(Y, X).")
+                  .ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().tuples_folded, 0u);
+}
+
+TEST(EngineTest, SspSlackRespected) {
+  // Just a smoke check that extreme slacks work.
+  for (uint32_t slack : {1u, 100u}) {
+    DCDatalog db(Opts(4, CoordinationMode::kSsp));
+    db.options().ssp_slack = slack;
+    Graph g = GenerateGnp(40, 0.06, 99);
+    db.AddGraph(g, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+    ASSERT_TRUE(db.Run().ok()) << "slack " << slack;
+  }
+}
+
+TEST(EngineTest, TinyQueueCapacityStillCompletes) {
+  // Exercises the backpressure path heavily.
+  DCDatalog db(Opts(4, CoordinationMode::kDws));
+  db.options().spsc_capacity = 2;  // Engine clamps to a tiny ring.
+  Graph g = GenerateGnp(50, 0.05, 3);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  DCDatalog oracle(Opts(1, CoordinationMode::kGlobal));
+  oracle.AddGraph(g, "arc");
+  ASSERT_TRUE(oracle.LoadProgramText(kTc).ok());
+  ASSERT_TRUE(oracle.Run().ok());
+  EXPECT_EQ(RowSet(*db.ResultFor("tc")), RowSet(*oracle.ResultFor("tc")));
+}
+
+TEST(EngineTest, TraceEventsCoverRun) {
+  EngineOptions opts = Opts(3, CoordinationMode::kGlobal);
+  opts.enable_trace = true;
+  DCDatalog db(opts);
+  Graph g = GenerateGnp(40, 0.06, 5);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  const auto& trace = stats.value().trace;
+  ASSERT_FALSE(trace.empty());
+  bool saw_iteration = false, saw_idle = false;
+  std::set<uint32_t> workers;
+  for (const TraceEvent& ev : trace) {
+    EXPECT_LE(ev.start_ns, ev.end_ns);
+    workers.insert(ev.worker);
+    saw_iteration |= ev.kind == TraceEvent::Kind::kIteration;
+    saw_idle |= ev.kind == TraceEvent::Kind::kIdle;
+  }
+  EXPECT_TRUE(saw_iteration);
+  EXPECT_TRUE(saw_idle);  // Global always parks someone at a barrier.
+  EXPECT_EQ(workers.size(), 3u);
+
+  // Tracing off → no events.
+  opts.enable_trace = false;
+  DCDatalog db2(opts);
+  db2.AddGraph(g, "arc");
+  ASSERT_TRUE(db2.LoadProgramText(kTc).ok());
+  auto stats2 = db2.Run();
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_TRUE(stats2.value().trace.empty());
+}
+
+TEST(EngineTest, OutputsDirectiveSurvivesPlanning) {
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g;
+  g.AddEdge(0, 1);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(
+      db.LoadProgramText(std::string(".output tc\n") + kTc).ok());
+  ASSERT_TRUE(db.Run().ok());
+  EXPECT_NE(db.ResultFor("tc"), nullptr);
+}
+
+}  // namespace
+}  // namespace dcdatalog

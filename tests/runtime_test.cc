@@ -1,0 +1,409 @@
+// Unit tests for src/runtime: expression evaluation, the recursive-table
+// merge semantics (§6.2.1), existence cache (§6.2.2), the optimized vs
+// unoptimized merge parity, and the Distributor (§5.2.3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "planner/physical_plan.h"
+#include "runtime/distributor.h"
+#include "runtime/expr_eval.h"
+#include "runtime/recursive_table.h"
+
+namespace dcdatalog {
+namespace {
+
+CompiledExpr Const(int64_t v) {
+  CompiledExpr e;
+  e.op = ExprOp::kConst;
+  e.const_word = WordFromInt(v);
+  e.type = ColumnType::kInt;
+  return e;
+}
+
+CompiledExpr ConstD(double v) {
+  CompiledExpr e;
+  e.op = ExprOp::kConst;
+  e.const_word = WordFromDouble(v);
+  e.type = ColumnType::kDouble;
+  return e;
+}
+
+CompiledExpr Reg(int r, ColumnType t = ColumnType::kInt) {
+  CompiledExpr e;
+  e.op = ExprOp::kVar;
+  e.reg = r;
+  e.type = t;
+  return e;
+}
+
+CompiledExpr Bin(ExprOp op, CompiledExpr l, CompiledExpr r) {
+  CompiledExpr e;
+  e.op = op;
+  e.type = (l.type == ColumnType::kDouble || r.type == ColumnType::kDouble)
+               ? ColumnType::kDouble
+               : ColumnType::kInt;
+  e.lhs = std::make_unique<CompiledExpr>(std::move(l));
+  e.rhs = std::make_unique<CompiledExpr>(std::move(r));
+  return e;
+}
+
+TEST(ExprEvalTest, IntegerArithmetic) {
+  uint64_t regs[2] = {WordFromInt(7), WordFromInt(3)};
+  EXPECT_EQ(IntFromWord(EvalExpr(Bin(ExprOp::kAdd, Reg(0), Reg(1)), regs)),
+            10);
+  EXPECT_EQ(IntFromWord(EvalExpr(Bin(ExprOp::kSub, Reg(0), Reg(1)), regs)),
+            4);
+  EXPECT_EQ(IntFromWord(EvalExpr(Bin(ExprOp::kMul, Reg(0), Reg(1)), regs)),
+            21);
+  EXPECT_EQ(IntFromWord(EvalExpr(Bin(ExprOp::kDiv, Reg(0), Reg(1)), regs)),
+            2);  // Integer division.
+  EXPECT_EQ(IntFromWord(EvalExpr(Bin(ExprOp::kDiv, Reg(0), Const(0)), regs)),
+            0);  // Total semantics for division by zero.
+}
+
+TEST(ExprEvalTest, MixedPromotesToDouble) {
+  uint64_t regs[1] = {WordFromInt(7)};
+  CompiledExpr e = Bin(ExprOp::kDiv, Reg(0), ConstD(2.0));
+  EXPECT_EQ(e.type, ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(DoubleFromWord(EvalExpr(e, regs)), 3.5);
+}
+
+TEST(ExprEvalTest, ToDoubleConversion) {
+  CompiledExpr conv;
+  conv.op = ExprOp::kToDouble;
+  conv.type = ColumnType::kDouble;
+  conv.lhs = std::make_unique<CompiledExpr>(Const(5));
+  EXPECT_DOUBLE_EQ(DoubleFromWord(EvalExpr(conv, nullptr)), 5.0);
+}
+
+TEST(ExprEvalTest, Negation) {
+  uint64_t regs[1] = {WordFromInt(4)};
+  CompiledExpr neg;
+  neg.op = ExprOp::kNeg;
+  neg.type = ColumnType::kInt;
+  neg.lhs = std::make_unique<CompiledExpr>(Reg(0));
+  EXPECT_EQ(IntFromWord(EvalExpr(neg, regs)), -4);
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  uint64_t regs[2] = {WordFromInt(3), WordFromDouble(3.0)};
+  EXPECT_TRUE(EvalCompare(CmpOp::kEq, Reg(0),
+                          Reg(1, ColumnType::kDouble), regs));
+  EXPECT_TRUE(EvalCompare(CmpOp::kLe, Reg(0), Const(3), regs));
+  EXPECT_FALSE(EvalCompare(CmpOp::kLt, Reg(0), Const(3), regs));
+  EXPECT_TRUE(EvalCompare(CmpOp::kNe, Reg(0), Const(4), regs));
+  EXPECT_TRUE(EvalCompare(CmpOp::kGe, Const(-1), Const(-2), regs));
+}
+
+// --- RecursiveTable ------------------------------------------------------
+
+AggSpec SpecFor(AggFunc func, uint32_t stored_arity,
+                ColumnType value_type = ColumnType::kInt) {
+  AggSpec s;
+  s.func = func;
+  s.stored_arity = stored_arity;
+  if (func == AggFunc::kNone) {
+    s.group_arity = stored_arity;
+    s.wire_arity = stored_arity;
+  } else {
+    s.group_arity = stored_arity - 1;
+    s.wire_arity = stored_arity + (func == AggFunc::kSum ? 1 : 0);
+    s.value_type = value_type;
+  }
+  return s;
+}
+
+/// Parameterized over (aggregate index on/off, existence cache on/off) —
+/// the Table 4 ablation axes. Results must be identical in all modes.
+class RecursiveTableModes
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {
+ protected:
+  EngineOptions Opts() {
+    EngineOptions o;
+    o.enable_aggregate_index = std::get<0>(GetParam());
+    o.enable_existence_cache = std::get<1>(GetParam());
+    o.existence_cache_slots = 64;  // Tiny: force evictions.
+    return o;
+  }
+};
+
+TEST_P(RecursiveTableModes, NoneDeduplicates) {
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kNone, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> batch = {{1, 2}, {1, 2}, {3, 4}, {1, 2}};
+  t.MergeBatch(batch);
+  EXPECT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.delta_size(), 2u);
+  t.ClearDelta();
+  std::vector<TupleBuf> batch2 = {{3, 4}, {5, 6}};
+  t.MergeBatch(batch2);
+  EXPECT_EQ(t.rows().size(), 3u);
+  EXPECT_EQ(t.delta_size(), 1u);
+}
+
+TEST_P(RecursiveTableModes, MinKeepsBestAndUpdatesInPlace) {
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kMin, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> batch = {{1, WordFromInt(9)}, {2, WordFromInt(4)}};
+  t.MergeBatch(batch);
+  EXPECT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.delta_size(), 2u);
+  t.ClearDelta();
+  // Worse value ignored; better value updates the same row.
+  std::vector<TupleBuf> batch2 = {{1, WordFromInt(12)},
+                                  {1, WordFromInt(3)},
+                                  {2, WordFromInt(4)}};
+  t.MergeBatch(batch2);
+  EXPECT_EQ(t.rows().size(), 2u);
+  ASSERT_EQ(t.delta_size(), 1u);
+  EXPECT_EQ(IntFromWord(t.delta()[0].v[1]), 3);
+  // Stored row reflects the best.
+  bool found = false;
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    if (t.rows().Row(r)[0] == 1) {
+      found = true;
+      EXPECT_EQ(IntFromWord(t.rows().Row(r)[1]), 3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_P(RecursiveTableModes, BatchDeltaIsPerGroup) {
+  // m updates to one group in a batch must yield one delta row (the final
+  // value), not m rows — the amplification guard.
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kMin, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> batch;
+  for (int i = 20; i >= 1; --i) {
+    batch.push_back({7, WordFromInt(i)});
+  }
+  t.MergeBatch(batch);
+  ASSERT_EQ(t.delta_size(), 1u);
+  EXPECT_EQ(IntFromWord(t.delta()[0].v[1]), 1);
+}
+
+TEST_P(RecursiveTableModes, MaxMirrorsMin) {
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kMax, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> b1 = {{1, WordFromInt(5)}};
+  t.MergeBatch(b1);
+  t.ClearDelta();
+  std::vector<TupleBuf> b2 = {{1, WordFromInt(3)}};
+  t.MergeBatch(b2);
+  EXPECT_EQ(t.delta_size(), 0u);
+  std::vector<TupleBuf> b3 = {{1, WordFromInt(8)}};
+  t.MergeBatch(b3);
+  ASSERT_EQ(t.delta_size(), 1u);
+  EXPECT_EQ(IntFromWord(t.delta()[0].v[1]), 8);
+}
+
+TEST_P(RecursiveTableModes, MinDoubleValues) {
+  RecursiveTable t("r",
+                   Schema({{"g", ColumnType::kInt},
+                           {"v", ColumnType::kDouble}}),
+                   SpecFor(AggFunc::kMin, 2, ColumnType::kDouble), 0, false,
+                   Opts());
+  std::vector<TupleBuf> b = {{1, WordFromDouble(2.5)},
+                             {1, WordFromDouble(2.25)}};
+  t.MergeBatch(b);
+  bool ok = false;
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    ok |= DoubleFromWord(t.rows().Row(r)[1]) == 2.25;
+  }
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(RecursiveTableModes, TwoColumnGroupKeys) {
+  // APSP-style: group (A, B), value D.
+  RecursiveTable t("path", Schema::Ints(3), SpecFor(AggFunc::kMin, 3), 0,
+                   false, Opts());
+  std::vector<TupleBuf> b = {{1, 2, WordFromInt(10)},
+                             {1, 3, WordFromInt(10)},
+                             {1, 2, WordFromInt(7)}};
+  t.MergeBatch(b);
+  EXPECT_EQ(t.rows().size(), 2u);
+  std::map<std::pair<uint64_t, uint64_t>, int64_t> got;
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    TupleRef row = t.rows().Row(r);
+    got[{row[0], row[1]}] = IntFromWord(row[2]);
+  }
+  EXPECT_EQ((got[{1, 2}]), 7);
+  EXPECT_EQ((got[{1, 3}]), 10);
+}
+
+TEST_P(RecursiveTableModes, CountDistinctContributors) {
+  RecursiveTable t("cnt", Schema::Ints(2), SpecFor(AggFunc::kCount, 2), 0,
+                   false, Opts());
+  // Wire: (group, contributor).
+  std::vector<TupleBuf> b = {{1, 100}, {1, 101}, {1, 100}, {2, 100}};
+  t.MergeBatch(b);
+  std::map<uint64_t, int64_t> counts;
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    counts[t.rows().Row(r)[0]] = IntFromWord(t.rows().Row(r)[1]);
+  }
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  t.ClearDelta();
+  std::vector<TupleBuf> b2 = {{1, 101}};
+  t.MergeBatch(b2);
+  EXPECT_EQ(t.delta_size(), 0u);  // Known contributor: no change.
+}
+
+TEST_P(RecursiveTableModes, SumReplacesContributorValue) {
+  RecursiveTable t("rank",
+                   Schema({{"g", ColumnType::kInt},
+                           {"v", ColumnType::kDouble}}),
+                   SpecFor(AggFunc::kSum, 2, ColumnType::kDouble), 0, false,
+                   Opts());
+  // Wire: (group, contributor, value).
+  std::vector<TupleBuf> b = {{1, 7, WordFromDouble(0.5)},
+                             {1, 8, WordFromDouble(0.25)}};
+  t.MergeBatch(b);
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_DOUBLE_EQ(DoubleFromWord(t.rows().Row(0)[1]), 0.75);
+  t.ClearDelta();
+  // Contributor 7 revises its value: sum moves by the difference.
+  std::vector<TupleBuf> b2 = {{1, 7, WordFromDouble(0.1)}};
+  t.MergeBatch(b2);
+  EXPECT_DOUBLE_EQ(DoubleFromWord(t.rows().Row(0)[1]), 0.35);
+  ASSERT_EQ(t.delta_size(), 1u);
+  t.ClearDelta();
+  // Epsilon-sized change is absorbed.
+  std::vector<TupleBuf> b3 = {{1, 7, WordFromDouble(0.1 + 1e-12)}};
+  t.MergeBatch(b3);
+  EXPECT_EQ(t.delta_size(), 0u);
+}
+
+TEST_P(RecursiveTableModes, JoinIndexTracksAppendedRows) {
+  RecursiveTable t("path", Schema::Ints(3), SpecFor(AggFunc::kMin, 3), 1,
+                   /*needs_join_index=*/true, Opts());
+  std::vector<TupleBuf> b = {{1, 5, WordFromInt(3)},
+                             {2, 5, WordFromInt(4)},
+                             {3, 6, WordFromInt(1)}};
+  t.MergeBatch(b);
+  std::set<uint64_t> srcs;
+  t.ForEachJoinMatch(5, [&](TupleRef row) { srcs.insert(row[0]); });
+  EXPECT_EQ(srcs, (std::set<uint64_t>{1, 2}));
+}
+
+TEST_P(RecursiveTableModes, RandomizedMinParityWithOracle) {
+  // Property test: arbitrary interleavings of batches must leave the table
+  // equal to a simple map oracle, in every (index, cache) mode.
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kMin, 2), 0,
+                   false, Opts());
+  std::map<uint64_t, int64_t> oracle;
+  Rng rng(321);
+  for (int batch_no = 0; batch_no < 50; ++batch_no) {
+    std::vector<TupleBuf> batch;
+    for (int i = 0; i < 40; ++i) {
+      uint64_t g = rng.Uniform(25);
+      int64_t v = static_cast<int64_t>(rng.Uniform(1000));
+      batch.push_back({g, WordFromInt(v)});
+      auto [it, inserted] = oracle.try_emplace(g, v);
+      if (!inserted && v < it->second) it->second = v;
+    }
+    t.MergeBatch(batch);
+  }
+  ASSERT_EQ(t.rows().size(), oracle.size());
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    TupleRef row = t.rows().Row(r);
+    EXPECT_EQ(IntFromWord(row[1]), oracle.at(row[0]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, RecursiveTableModes,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      std::string name = std::get<0>(info.param) ? "AggIndex" : "LinearScan";
+      name += std::get<1>(info.param) ? "_Cache" : "_NoCache";
+      return name;
+    });
+
+TEST(RecursiveTableTest, CacheHitsAreCounted) {
+  EngineOptions opts;
+  opts.enable_existence_cache = true;
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kNone, 2), 0,
+                   false, opts);
+  std::vector<TupleBuf> b1 = {{1, 2}};
+  t.MergeBatch(b1);
+  std::vector<TupleBuf> b2 = {{1, 2}, {1, 2}, {1, 2}};
+  t.MergeBatch(b2);
+  EXPECT_GE(t.cache_hits(), 3u);
+  EXPECT_EQ(t.merges(), 4u);
+  EXPECT_EQ(t.accepts(), 1u);
+}
+
+// --- Distributor ---------------------------------------------------------
+
+class DistributorTest : public ::testing::Test {
+ protected:
+  DistributorTest() {
+    scc_.replicas.push_back(ReplicaSpec{"p", 0, false});
+    scc_.replicas.push_back(ReplicaSpec{"p", 1, true});
+    head_.predicate = "p";
+    head_.agg = SpecFor(AggFunc::kMin, 3);
+  }
+
+  SccPlan scc_;
+  HeadSpec head_;
+  std::vector<std::pair<uint32_t, WireMsg>> sent_;
+};
+
+TEST_F(DistributorTest, RoutesToEveryReplicaByItsColumn) {
+  Distributor dist(&scc_, /*num_workers=*/4, /*partial_agg=*/false,
+                   [this](uint32_t dest, const WireMsg& msg) {
+                     sent_.emplace_back(dest, msg);
+                   });
+  uint64_t wire[3] = {11, 22, WordFromInt(5)};
+  dist.Emit(head_, wire);
+  dist.Flush();
+  ASSERT_EQ(sent_.size(), 2u);
+  // One message per replica, routed by that replica's partition column.
+  EXPECT_EQ(sent_[0].second.tag, 0u);
+  EXPECT_EQ(sent_[0].first, PartitionOf(11, 4));
+  EXPECT_EQ(sent_[1].second.tag, 1u);
+  EXPECT_EQ(sent_[1].first, PartitionOf(22, 4));
+}
+
+TEST_F(DistributorTest, PartialAggregationFoldsPerGroup) {
+  Distributor dist(&scc_, 4, /*partial_agg=*/true,
+                   [this](uint32_t dest, const WireMsg& msg) {
+                     sent_.emplace_back(dest, msg);
+                   });
+  uint64_t w1[3] = {1, 2, WordFromInt(9)};
+  uint64_t w2[3] = {1, 2, WordFromInt(4)};
+  uint64_t w3[3] = {1, 2, WordFromInt(6)};
+  dist.Emit(head_, w1);
+  dist.Emit(head_, w2);
+  dist.Emit(head_, w3);
+  EXPECT_TRUE(sent_.empty());  // Buffered until flush.
+  dist.Flush();
+  // One group → one wire (per replica), carrying the minimum.
+  ASSERT_EQ(sent_.size(), 2u);
+  EXPECT_EQ(IntFromWord(sent_[0].second.w[2]), 4);
+  EXPECT_EQ(dist.tuples_folded(), 2u);
+  EXPECT_EQ(dist.tuples_routed(), 2u);
+}
+
+TEST_F(DistributorTest, NonAggregateTuplesPassThrough) {
+  SccPlan scc;
+  scc.replicas.push_back(ReplicaSpec{"q", 0, false});
+  HeadSpec head;
+  head.predicate = "q";
+  head.agg = SpecFor(AggFunc::kNone, 2);
+  Distributor dist(&scc, 2, true,
+                   [this](uint32_t dest, const WireMsg& msg) {
+                     sent_.emplace_back(dest, msg);
+                   });
+  uint64_t w[2] = {5, 6};
+  dist.Emit(head, w);
+  EXPECT_EQ(sent_.size(), 1u);  // Routed immediately.
+}
+
+}  // namespace
+}  // namespace dcdatalog

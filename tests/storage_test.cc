@@ -1,0 +1,316 @@
+// Unit and property tests for src/storage: schema, relation, B+-tree,
+// hash index, dynamic index, tuple set, catalog.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/btree.h"
+#include "storage/catalog.h"
+#include "storage/dyn_index.h"
+#include "storage/hash_index.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "storage/tuple_set.h"
+
+namespace dcdatalog {
+namespace {
+
+TEST(SchemaTest, IntsFactory) {
+  Schema s = Schema::Ints(3);
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.type(2), ColumnType::kInt);
+  EXPECT_EQ(s.FindColumn("c1"), 1);
+  EXPECT_EQ(s.FindColumn("zz"), -1);
+}
+
+TEST(SchemaTest, EqualityIgnoresNames) {
+  Schema a({{"x", ColumnType::kInt}, {"y", ColumnType::kDouble}});
+  Schema b({{"u", ColumnType::kInt}, {"v", ColumnType::kDouble}});
+  Schema c({{"x", ColumnType::kInt}, {"y", ColumnType::kInt}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RelationTest, AppendAndRead) {
+  Relation rel("r", Schema::Ints(2));
+  EXPECT_TRUE(rel.empty());
+  rel.Append({1, 2});
+  rel.Append({3, 4});
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.Row(1)[0], 3u);
+  rel.SetWord(1, 1, 9);
+  EXPECT_EQ(rel.Row(1)[1], 9u);
+}
+
+TEST(RelationTest, AppendAllConcatenates) {
+  Relation a("a", Schema::Ints(2)), b("b", Schema::Ints(2));
+  a.Append({1, 1});
+  b.Append({2, 2});
+  b.Append({3, 3});
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Row(2)[0], 3u);
+}
+
+TEST(TupleTest, RefEqualityAndHash) {
+  uint64_t a[] = {1, 2, 3};
+  uint64_t b[] = {1, 2, 3};
+  uint64_t c[] = {1, 2, 4};
+  EXPECT_EQ((TupleRef{a, 3}), (TupleRef{b, 3}));
+  EXPECT_FALSE((TupleRef{a, 3}) == (TupleRef{c, 3}));
+  EXPECT_EQ((TupleRef{a, 3}).Hash(), (TupleRef{b, 3}).Hash());
+}
+
+TEST(TupleTest, BufCopiesRef) {
+  uint64_t a[] = {7, 8};
+  TupleBuf buf{TupleRef{a, 2}};
+  a[0] = 99;
+  EXPECT_EQ(buf.Ref(2)[0], 7u);
+}
+
+// --- B+-tree -----------------------------------------------------------
+
+TEST(BTreeTest, EmptyTree) {
+  BPlusTree<uint64_t, uint64_t> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.LowerBound(0).AtEnd());
+  EXPECT_FALSE(tree.Contains(5));
+  EXPECT_EQ(tree.FindFirst(5), nullptr);
+}
+
+TEST(BTreeTest, InsertAndFind) {
+  BPlusTree<uint64_t, uint64_t> tree;
+  for (uint64_t i = 0; i < 1000; ++i) tree.Insert(i * 3, i);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.Contains(999));
+  EXPECT_FALSE(tree.Contains(1000));
+  ASSERT_NE(tree.FindFirst(300), nullptr);
+  EXPECT_EQ(*tree.FindFirst(300), 100u);
+}
+
+TEST(BTreeTest, InPlaceValueUpdate) {
+  BPlusTree<uint64_t, uint64_t> tree;
+  tree.Insert(5, 10);
+  *tree.FindFirst(5) = 20;
+  EXPECT_EQ(*tree.FindFirst(5), 20u);
+}
+
+TEST(BTreeTest, OrderedIteration) {
+  BPlusTree<uint64_t, uint64_t> tree;
+  Rng rng(5);
+  std::multiset<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t k = rng.Uniform(500);
+    tree.Insert(k, i);
+    keys.insert(k);
+  }
+  std::vector<uint64_t> seen;
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) seen.push_back(it.key());
+  EXPECT_EQ(seen.size(), keys.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BTreeTest, PropertyMatchesMultimap) {
+  // Random interleaved inserts and lookups, mirrored in std::multimap.
+  BPlusTree<uint64_t, uint64_t, 8, 8> tree;  // Small fanout → deep tree.
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = rng.Uniform(3000);
+    tree.Insert(k, i);
+    oracle.emplace(k, i);
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  for (uint64_t k = 0; k < 3000; ++k) {
+    std::multiset<uint64_t> expect;
+    auto [lo, hi] = oracle.equal_range(k);
+    for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+    std::multiset<uint64_t> got;
+    tree.ForEachEqual(k, [&](const uint64_t& v) {
+      got.insert(v);
+      return true;
+    });
+    ASSERT_EQ(got, expect) << "key " << k;
+  }
+}
+
+TEST(BTreeTest, LowerBoundSemantics) {
+  BPlusTree<uint64_t, uint64_t, 8, 8> tree;
+  for (uint64_t k : {10, 20, 20, 20, 30, 40}) tree.Insert(k, k);
+  auto it = tree.LowerBound(15);
+  EXPECT_EQ(it.key(), 20u);
+  it = tree.LowerBound(20);
+  EXPECT_EQ(it.key(), 20u);
+  it = tree.LowerBound(41);
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(BTreeTest, DuplicatesAcrossLeafSplits) {
+  // Many duplicates of a few keys force duplicates to straddle leaves.
+  BPlusTree<uint64_t, uint64_t, 4, 4> tree;
+  for (int i = 0; i < 300; ++i) tree.Insert(i % 3, i);
+  for (uint64_t k = 0; k < 3; ++k) {
+    uint64_t count = 0;
+    tree.ForEachEqual(k, [&](const uint64_t&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, 100u) << "key " << k;
+  }
+}
+
+TEST(BTreeTest, U128CompositeKeys) {
+  BPlusTree<U128, uint64_t> tree;
+  tree.Insert(U128{1, 5}, 15);
+  tree.Insert(U128{1, 7}, 17);
+  tree.Insert(U128{2, 0}, 20);
+  EXPECT_EQ(*tree.FindFirst(U128{1, 7}), 17u);
+  EXPECT_EQ(tree.FindFirst(U128{1, 6}), nullptr);
+  // Lexicographic: (1,*) before (2,*).
+  auto it = tree.LowerBound(U128{1, 6});
+  EXPECT_EQ(it.key().lo, 7u);
+}
+
+TEST(BTreeTest, MoveConstructorLeavesSourceUsable) {
+  BPlusTree<uint64_t, uint64_t> a;
+  a.Insert(1, 1);
+  BPlusTree<uint64_t, uint64_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  a.Insert(2, 2);
+  EXPECT_TRUE(a.Contains(2));
+}
+
+// --- Hash index --------------------------------------------------------
+
+TEST(HashIndexTest, BuildAndProbe) {
+  Relation rel("r", Schema::Ints(2));
+  rel.Append({1, 10});
+  rel.Append({2, 20});
+  rel.Append({1, 11});
+  HashIndex index;
+  index.Build(rel, 0);
+  std::set<uint64_t> rows;
+  index.ForEachMatch(1, [&](uint64_t row) {
+    rows.insert(row);
+    return true;
+  });
+  EXPECT_EQ(rows, (std::set<uint64_t>{0, 2}));
+  EXPECT_TRUE(index.Contains(2));
+  EXPECT_FALSE(index.Contains(3));
+}
+
+TEST(HashIndexTest, EmptyRelation) {
+  Relation rel("r", Schema::Ints(1));
+  HashIndex index;
+  index.Build(rel, 0);
+  EXPECT_FALSE(index.Contains(0));
+}
+
+TEST(HashIndexTest, PropertyMatchesMultimap) {
+  Relation rel("r", Schema::Ints(2));
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(3);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    uint64_t k = rng.Uniform(400);
+    rel.Append({k, i});
+    oracle.emplace(k, i);
+  }
+  HashIndex index;
+  index.Build(rel, 0);
+  for (uint64_t k = 0; k < 400; ++k) {
+    std::multiset<uint64_t> expect;
+    auto [lo, hi] = oracle.equal_range(k);
+    for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+    std::multiset<uint64_t> got;
+    index.ForEachMatch(k, [&](uint64_t row) {
+      got.insert(rel.Row(row)[1]);
+      return true;
+    });
+    ASSERT_EQ(got.size(), expect.size());
+  }
+}
+
+// --- DynIndex ----------------------------------------------------------
+
+TEST(DynIndexTest, IncrementalInsertWithGrowth) {
+  DynIndex index;
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(11);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    uint64_t k = rng.Uniform(100);
+    index.Insert(k, i);
+    oracle.emplace(k, i);
+    // Interleave queries with inserts to exercise post-growth state.
+    if (i % 257 == 0) {
+      uint64_t probe = rng.Uniform(100);
+      std::multiset<uint64_t> expect;
+      auto [lo, hi] = oracle.equal_range(probe);
+      for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+      std::multiset<uint64_t> got;
+      index.ForEachMatch(probe, [&](uint64_t row) {
+        got.insert(row);
+        return true;
+      });
+      ASSERT_EQ(got, expect);
+    }
+  }
+  EXPECT_EQ(index.size(), 3000u);
+}
+
+// --- TupleSet ----------------------------------------------------------
+
+TEST(TupleSetTest, DeduplicatesFullTuples) {
+  Relation rel("r", Schema::Ints(2));
+  TupleSet set(&rel);
+  uint64_t r1 = rel.Append({1, 2});
+  EXPECT_TRUE(set.Insert(r1));
+  uint64_t r2 = rel.Append({1, 2});
+  EXPECT_FALSE(set.Insert(r2));  // Same tuple.
+  uint64_t r3 = rel.Append({2, 1});
+  EXPECT_TRUE(set.Insert(r3));
+  uint64_t probe[] = {1, 2};
+  EXPECT_TRUE(set.Contains(TupleRef{probe, 2}));
+  probe[1] = 3;
+  EXPECT_FALSE(set.Contains(TupleRef{probe, 2}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TupleSetTest, GrowsPastInitialCapacity) {
+  Relation rel("r", Schema::Ints(1));
+  TupleSet set(&rel);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t row = rel.Append({i});
+    ASSERT_TRUE(set.Insert(row));
+  }
+  EXPECT_EQ(set.size(), 10000u);
+  uint64_t probe[] = {9999};
+  EXPECT_TRUE(set.Contains(TupleRef{probe, 1}));
+}
+
+// --- Catalog -----------------------------------------------------------
+
+TEST(CatalogTest, CreateFindPut) {
+  Catalog catalog;
+  auto created = catalog.Create("edges", Schema::Ints(2));
+  ASSERT_TRUE(created.ok());
+  created.value()->Append({1, 2});
+  EXPECT_EQ(catalog.Find("edges")->size(), 1u);
+  EXPECT_EQ(catalog.Find("missing"), nullptr);
+  EXPECT_FALSE(catalog.Create("edges", Schema::Ints(2)).ok());
+
+  Relation replacement("edges", Schema::Ints(2));
+  replacement.Append({3, 4});
+  replacement.Append({5, 6});
+  catalog.Put(std::move(replacement));
+  EXPECT_EQ(catalog.Find("edges")->size(), 2u);
+  EXPECT_EQ(catalog.Names().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcdatalog

@@ -1,0 +1,195 @@
+// Torture tests: structures under adversarial shapes and the engine under
+// repeated randomized configurations. Complements the per-module unit
+// suites with longer randomized sequences.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "concurrent/spsc_queue.h"
+#include "core/dcdatalog.h"
+#include "core/reference.h"
+#include "graph/generators.h"
+#include "storage/btree.h"
+#include "tests/test_util.h"
+
+namespace dcdatalog {
+namespace {
+
+using testing_util::RowSet;
+
+TEST(BTreeStress, TinyFanoutU128Fuzz) {
+  // Fanout 4 forces deep trees and constant splits; U128 keys exercise the
+  // composite comparator. Mirror every operation in a std::multimap.
+  BPlusTree<U128, uint64_t, 4, 4> tree;
+  std::multimap<std::pair<uint64_t, uint64_t>, uint64_t> oracle;
+  Rng rng(2024);
+  for (uint64_t i = 0; i < 30000; ++i) {
+    U128 key{rng.Uniform(64), rng.Uniform(64)};
+    tree.Insert(key, i);
+    oracle.emplace(std::make_pair(key.hi, key.lo), i);
+    if (i % 1000 == 999) {
+      // Full sweep: every key's multiset of values matches.
+      for (uint64_t hi = 0; hi < 64; ++hi) {
+        for (uint64_t lo = 0; lo < 64; ++lo) {
+          std::multiset<uint64_t> expect;
+          auto [b, e] = oracle.equal_range({hi, lo});
+          for (auto it = b; it != e; ++it) expect.insert(it->second);
+          std::multiset<uint64_t> got;
+          tree.ForEachEqual(U128{hi, lo}, [&](const uint64_t& v) {
+            got.insert(v);
+            return true;
+          });
+          ASSERT_EQ(got, expect) << hi << "," << lo << " @" << i;
+        }
+      }
+    }
+  }
+  // Global order check.
+  U128 prev{0, 0};
+  bool first = true;
+  uint64_t count = 0;
+  for (auto it = tree.Begin(); !it.AtEnd(); ++it) {
+    if (!first) ASSERT_FALSE(it.key() < prev);
+    prev = it.key();
+    first = false;
+    ++count;
+  }
+  EXPECT_EQ(count, 30000u);
+}
+
+TEST(BTreeStress, MonotoneAndReverseInsertion) {
+  // Ascending and descending insertions are the classic split-path
+  // pathologies.
+  for (bool ascending : {true, false}) {
+    BPlusTree<uint64_t, uint64_t, 8, 8> tree;
+    constexpr uint64_t kN = 50000;
+    for (uint64_t i = 0; i < kN; ++i) {
+      const uint64_t k = ascending ? i : kN - 1 - i;
+      tree.Insert(k, k * 2);
+    }
+    EXPECT_EQ(tree.size(), kN);
+    for (uint64_t k = 0; k < kN; k += 97) {
+      ASSERT_NE(tree.FindFirst(k), nullptr) << k;
+      ASSERT_EQ(*tree.FindFirst(k), k * 2);
+    }
+    uint64_t count = 0;
+    for (auto it = tree.Begin(); !it.AtEnd(); ++it) {
+      ASSERT_EQ(it.key(), count);
+      ++count;
+    }
+    EXPECT_EQ(count, kN);
+  }
+}
+
+TEST(SpscStress, CacheLinePayloadTwoThreads) {
+  // The engine's actual element type (64-byte TupleBuf) under sustained
+  // two-thread traffic with a small ring (constant wraparound).
+  SpscQueue<TupleBuf> q(64);
+  constexpr uint64_t kN = 200000;
+  std::thread producer([&q] {
+    for (uint64_t i = 0; i < kN; ++i) {
+      TupleBuf buf{i, i * 3, i ^ 0xFF};
+      while (!q.TryPush(buf)) std::this_thread::yield();
+    }
+  });
+  uint64_t next = 0;
+  std::vector<TupleBuf> batch;
+  while (next < kN) {
+    batch.clear();
+    if (q.PopBatch(&batch) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const TupleBuf& buf : batch) {
+      ASSERT_EQ(buf.v[0], next);
+      ASSERT_EQ(buf.v[1], next * 3);
+      ASSERT_EQ(buf.v[2], next ^ 0xFF);
+      ++next;
+    }
+  }
+  producer.join();
+}
+
+TEST(EngineStress, RepeatedRandomizedCcRuns) {
+  // Many short runs with varying worker counts and ring sizes, checking
+  // against a single reference answer — shakes out scheduling races that
+  // one-shot tests miss.
+  Graph g = GenerateSocialGraph(400, 5, 99);
+  constexpr char kCc[] =
+      "cc2(Y, min<Y>) :- arc(Y, _).\n"
+      "cc2(Y, min<Y>) :- arc(_, Y).\n"
+      "cc2(Y, min<Z>) :- cc2(X, Z), arc(X, Y).\n"
+      "cc2(Y, min<Z>) :- cc2(X, Z), arc(Y, X).\n";
+
+  std::set<std::vector<uint64_t>> expected;
+  {
+    DCDatalog db;
+    db.AddGraph(g, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kCc).ok());
+    auto ref = ReferenceEvaluate(*db.program(), db.catalog());
+    ASSERT_TRUE(ref.ok());
+    expected = RowSet(ref.value().at("cc2"));
+  }
+
+  Rng rng(31337);
+  for (int run = 0; run < 25; ++run) {
+    EngineOptions o;
+    o.num_workers = 1 + static_cast<uint32_t>(rng.Uniform(8));
+    o.coordination = static_cast<CoordinationMode>(rng.Uniform(3));
+    o.spsc_capacity = 2u << rng.Uniform(8);
+    o.ssp_slack = 1 + static_cast<uint32_t>(rng.Uniform(8));
+    o.dws_timeout_us = 100 + static_cast<uint32_t>(rng.Uniform(3000));
+    DCDatalog db(o);
+    db.AddGraph(g, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kCc).ok());
+    auto stats = db.Run();
+    ASSERT_TRUE(stats.ok()) << "run " << run << ": "
+                            << stats.status().ToString();
+    ASSERT_EQ(RowSet(*db.ResultFor("cc2")), expected)
+        << "run " << run << " workers=" << o.num_workers << " mode="
+        << CoordinationModeName(o.coordination);
+  }
+}
+
+TEST(EngineStress, WideTuplesAtArityLimit) {
+  // Wire arity 7 is the message-format ceiling; drive a 7-column
+  // non-aggregate recursion through it.
+  DCDatalog db;
+  Relation base("base", Schema::Ints(7));
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    base.Append({rng.Uniform(10), rng.Uniform(10), rng.Uniform(10),
+                 rng.Uniform(10), rng.Uniform(10), rng.Uniform(10),
+                 rng.Uniform(10)});
+  }
+  db.catalog().Put(std::move(base));
+  ASSERT_TRUE(db.LoadProgramText(
+                    "w(A, B, C, D, E, F, G) :- base(A, B, C, D, E, F, G).\n"
+                    "w(B, A, C, D, E, F, G) :- w(A, B, C, D, E, F, G).")
+                  .ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto ref = ReferenceEvaluate(*db.program(), db.catalog());
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(RowSet(*db.ResultFor("w")), RowSet(ref.value().at("w")));
+}
+
+TEST(EngineStress, EightColumnWireRejectedCleanly) {
+  DCDatalog db;
+  db.catalog().Put(Relation("b8", Schema::Ints(8)));
+  ASSERT_TRUE(db.LoadProgramText(
+                    "w(A, B, C, D, E, F, G, H) :- b8(A, B, C, D, E, F, G, "
+                    "H).\n"
+                    "w(B, A, C, D, E, F, G, H) :- w(A, B, C, D, E, F, G, "
+                    "H).")
+                  .ok());
+  auto stats = db.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace dcdatalog

@@ -1,0 +1,60 @@
+#ifndef DCDATALOG_TESTS_TEST_UTIL_H_
+#define DCDATALOG_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace dcdatalog {
+namespace testing_util {
+
+/// Rows of a relation as a sorted set of vectors, for order-insensitive
+/// comparison.
+inline std::set<std::vector<uint64_t>> RowSet(const Relation& rel) {
+  std::set<std::vector<uint64_t>> out;
+  for (uint64_t r = 0; r < rel.size(); ++r) {
+    TupleRef row = rel.Row(r);
+    out.insert(std::vector<uint64_t>(row.data, row.data + row.arity));
+  }
+  return out;
+}
+
+/// Compares two relations whose final column is a double, with tolerance —
+/// used for sum-aggregate programs where merge order perturbs low bits.
+inline bool ApproxEqualLastDouble(const Relation& a, const Relation& b,
+                                  double tol) {
+  if (a.size() != b.size() || a.arity() != b.arity()) return false;
+  auto key_rows = [](const Relation& rel) {
+    std::vector<std::vector<uint64_t>> rows;
+    for (uint64_t r = 0; r < rel.size(); ++r) {
+      TupleRef row = rel.Row(r);
+      rows.emplace_back(row.data, row.data + row.arity);
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& x, const auto& y) {
+                return std::vector<uint64_t>(x.begin(), x.end() - 1) <
+                       std::vector<uint64_t>(y.begin(), y.end() - 1);
+              });
+    return rows;
+  };
+  auto ra = key_rows(a);
+  auto rb = key_rows(b);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    for (size_t c = 0; c + 1 < ra[i].size(); ++c) {
+      if (ra[i][c] != rb[i][c]) return false;
+    }
+    const double va = DoubleFromWord(ra[i].back());
+    const double vb = DoubleFromWord(rb[i].back());
+    if (std::fabs(va - vb) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace testing_util
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_TESTS_TEST_UTIL_H_

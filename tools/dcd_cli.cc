@@ -1,0 +1,335 @@
+// dcd — the DCDatalog command-line tool.
+//
+//   dcd run <program.dl> --rel name=path[:spec] ... [options]
+//       Evaluates the program over fact files. Each --rel loads a base
+//       relation from whitespace-separated text; `spec` gives column types
+//       (i=int, d=double, s=string; default: all int, arity inferred from
+//       the program). Results for every `.output` predicate (or every
+//       derived predicate if none) print to stdout or to files with --out.
+//
+//   dcd explain <program.dl> --rel ...
+//       Prints the analysis, logical plans, and physical plan.
+//
+//   dcd generate <kind> <path> [args]
+//       Writes a synthetic dataset: kinds are
+//         rmat:<vertices>[:<deg>]    tree:<height>    gnp:<vertices>:<p>
+//         social:<vertices>[:<deg>]  ntree:<vertices>
+//       --weights <max> adds random integer weights.
+//
+// Common options:
+//   --workers N        worker threads (default: hardware)
+//   --mode global|ssp|dws
+//   --slack N          SSP slack (default 5)
+//   --no-agg-index --no-cache --no-partial-agg   disable §6.2/Fig.7 opts
+//   --out pred=path    write one predicate to a file (repeatable)
+//   --stats            print EvalStats
+//   --seed N           generator seed (default 42)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dcdatalog.h"
+#include "datalog/analysis.h"
+#include "graph/generators.h"
+#include "storage/text_io.h"
+
+namespace dcdatalog {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dcd run <program.dl> --rel name=path[:spec] ...\n"
+               "       dcd explain <program.dl> --rel ...\n"
+               "       dcd generate <kind>:<args> <path> [--weights W]\n"
+               "see the header of tools/dcd_cli.cc for all options\n");
+  return 2;
+}
+
+struct Options {
+  std::string program_path;
+  std::vector<std::pair<std::string, std::string>> relations;  // name=path[:spec]
+  std::vector<std::pair<std::string, std::string>> outputs;    // pred=path
+  EngineOptions engine;
+  bool stats = false;
+  uint64_t seed = 42;
+  int64_t weights = 0;
+};
+
+bool ParseCommon(int argc, char** argv, int start, Options* opts) {
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--rel") {
+      const char* v = next();
+      if (!v) return false;
+      std::string s(v);
+      size_t eq = s.find('=');
+      if (eq == std::string::npos) return false;
+      opts->relations.emplace_back(s.substr(0, eq), s.substr(eq + 1));
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      std::string s(v);
+      size_t eq = s.find('=');
+      if (eq == std::string::npos) return false;
+      opts->outputs.emplace_back(s.substr(0, eq), s.substr(eq + 1));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return false;
+      opts->engine.num_workers = std::atoi(v);
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "global") == 0) {
+        opts->engine.coordination = CoordinationMode::kGlobal;
+      } else if (std::strcmp(v, "ssp") == 0) {
+        opts->engine.coordination = CoordinationMode::kSsp;
+      } else if (std::strcmp(v, "dws") == 0) {
+        opts->engine.coordination = CoordinationMode::kDws;
+      } else {
+        return false;
+      }
+    } else if (arg == "--slack") {
+      const char* v = next();
+      if (!v) return false;
+      opts->engine.ssp_slack = std::atoi(v);
+    } else if (arg == "--no-agg-index") {
+      opts->engine.enable_aggregate_index = false;
+    } else if (arg == "--no-cache") {
+      opts->engine.enable_existence_cache = false;
+    } else if (arg == "--no-partial-agg") {
+      opts->engine.enable_partial_aggregation = false;
+    } else if (arg == "--stats") {
+      opts->stats = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--weights") {
+      const char* v = next();
+      if (!v) return false;
+      opts->weights = std::atoll(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Infers arities of base relations from the parsed program so --rel specs
+/// may omit the type string for all-int relations.
+std::map<std::string, uint32_t> InferArities(const Program& program) {
+  std::map<std::string, uint32_t> arity;
+  std::map<std::string, bool> is_head;
+  for (const Rule& rule : program.rules) is_head[rule.head.predicate] = true;
+  for (const Rule& rule : program.rules) {
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      if (!is_head[lit.atom.predicate]) {
+        arity[lit.atom.predicate] =
+            static_cast<uint32_t>(lit.atom.args.size());
+      }
+    }
+  }
+  return arity;
+}
+
+int LoadRelations(DCDatalog* db, const Options& opts) {
+  std::map<std::string, uint32_t> arities;
+  if (db->program() != nullptr) arities = InferArities(*db->program());
+  for (const auto& [name, path_spec] : opts.relations) {
+    std::string path = path_spec;
+    std::string spec;
+    size_t colon = path_spec.rfind(':');
+    // A trailing :spec is only a spec if it is a plausible type string.
+    if (colon != std::string::npos && colon + 1 < path_spec.size()) {
+      std::string tail = path_spec.substr(colon + 1);
+      if (tail.find_first_not_of("ids") == std::string::npos) {
+        spec = tail;
+        path = path_spec.substr(0, colon);
+      }
+    }
+    Schema schema;
+    if (!spec.empty()) {
+      auto parsed = ParseSchemaSpec(spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      schema = parsed.value();
+    } else {
+      auto it = arities.find(name);
+      if (it == arities.end()) {
+        std::fprintf(stderr,
+                     "cannot infer arity of '%s'; add :spec (e.g. %s=%s:ii)\n",
+                     name.c_str(), name.c_str(), path.c_str());
+        return 1;
+      }
+      schema = Schema::Ints(it->second);
+    }
+    auto rel = LoadRelationFile(name, schema, path, &db->dict());
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s: %llu facts\n", name.c_str(),
+                 static_cast<unsigned long long>(rel.value().size()));
+    db->catalog().Put(std::move(rel).value());
+  }
+  return 0;
+}
+
+int CmdRun(const Options& opts) {
+  DCDatalog db(opts.engine);
+  Status st = db.LoadProgramFile(opts.program_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (int rc = LoadRelations(&db, opts); rc != 0) return rc;
+
+  auto stats = db.Run();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  if (opts.stats) {
+    std::fprintf(stderr, "%s\n", stats.value().ToString().c_str());
+  }
+
+  // Which predicates to surface: --out wins; else .output; else all IDB.
+  std::vector<std::string> to_print;
+  if (!opts.outputs.empty()) {
+    for (const auto& [pred, path] : opts.outputs) {
+      const Relation* rel = db.ResultFor(pred);
+      if (rel == nullptr) {
+        std::fprintf(stderr, "no such result predicate: %s\n", pred.c_str());
+        return 1;
+      }
+      Status w = WriteRelationFile(*rel, path, &db.dict());
+      if (!w.ok()) {
+        std::fprintf(stderr, "%s\n", w.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (%llu rows) to %s\n", pred.c_str(),
+                   static_cast<unsigned long long>(rel->size()),
+                   path.c_str());
+    }
+    return 0;
+  }
+  to_print = db.program()->outputs;
+  if (to_print.empty()) {
+    std::map<std::string, bool> heads;
+    for (const Rule& rule : db.program()->rules) {
+      heads[rule.head.predicate] = true;
+    }
+    for (const auto& [name, unused] : heads) to_print.push_back(name);
+  }
+  for (const std::string& pred : to_print) {
+    const Relation* rel = db.ResultFor(pred);
+    if (rel == nullptr) continue;
+    std::printf("%s\n", rel->ToString(50).c_str());
+  }
+  return 0;
+}
+
+int CmdExplain(const Options& opts) {
+  DCDatalog db(opts.engine);
+  Status st = db.LoadProgramFile(opts.program_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (int rc = LoadRelations(&db, opts); rc != 0) return rc;
+  auto logical = db.ExplainLogical();
+  if (!logical.ok()) {
+    std::fprintf(stderr, "%s\n", logical.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- analysis & logical plans ---\n%s\n",
+              logical.value().c_str());
+  auto physical = db.ExplainPhysical();
+  if (!physical.ok()) {
+    std::fprintf(stderr, "%s\n", physical.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("--- physical plan ---\n%s", physical.value().c_str());
+  return 0;
+}
+
+int CmdGenerate(const std::string& kind_spec, const std::string& path,
+                const Options& opts) {
+  // kind:arg1[:arg2]
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : kind_spec) {
+    if (c == ':') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  const std::string& kind = parts[0];
+  auto arg = [&](size_t i, uint64_t def) -> uint64_t {
+    return parts.size() > i ? std::strtoull(parts[i].c_str(), nullptr, 10)
+                            : def;
+  };
+
+  Graph g;
+  if (kind == "rmat") {
+    g = GenerateRmat(arg(1, 1024), opts.seed, arg(2, 10));
+  } else if (kind == "tree") {
+    g = GenerateRandomTree(static_cast<uint32_t>(arg(1, 8)), opts.seed);
+  } else if (kind == "gnp") {
+    double p = parts.size() > 2 ? std::atof(parts[2].c_str()) : 0.001;
+    g = GenerateGnp(arg(1, 1000), p, opts.seed);
+  } else if (kind == "social") {
+    g = GenerateSocialGraph(arg(1, 10000), arg(2, 10), opts.seed);
+  } else if (kind == "ntree") {
+    g = GenerateLeveledTree(arg(1, 10000), opts.seed);
+  } else {
+    std::fprintf(stderr, "unknown generator kind: %s\n", kind.c_str());
+    return 2;
+  }
+  if (opts.weights > 0) AssignRandomWeights(&g, opts.weights, opts.seed);
+  Status st = SaveEdgeList(g, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %llu vertices / %llu edges to %s\n",
+               static_cast<unsigned long long>(g.num_vertices()),
+               static_cast<unsigned long long>(g.num_edges()), path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcdatalog
+
+int main(int argc, char** argv) {
+  using namespace dcdatalog;
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  Options opts;
+
+  if (cmd == "run" || cmd == "explain") {
+    opts.program_path = argv[2];
+    if (!ParseCommon(argc, argv, 3, &opts)) return Usage();
+    return cmd == "run" ? CmdRun(opts) : CmdExplain(opts);
+  }
+  if (cmd == "generate") {
+    if (argc < 4) return Usage();
+    if (!ParseCommon(argc, argv, 4, &opts)) return Usage();
+    return CmdGenerate(argv[2], argv[3], opts);
+  }
+  return Usage();
+}
