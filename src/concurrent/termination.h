@@ -13,12 +13,21 @@ namespace dcdatalog {
 /// produced into buffers versus per-worker counts of tuples consumed.
 ///
 /// Protocol (all memory_order noted inline):
-///  * A producer pushes tuples, calls AddProduced(n), then Activate(target).
-///    Ordering matters: the produced count rises before the target can
-///    observe itself re-activated, so a successful termination check can
-///    never miss in-flight tuples.
-///  * A consumer calls AddConsumed(self, n) when it drains its buffers and
-///    Deactivate(self) only once it holds no unprocessed tuples.
+///  * A producer pushes one block of n tuples into a ring, then calls
+///    OnBlockPushed(target, n) — AddProduced(n) followed by
+///    Activate(target). Ordering matters: the produced count rises before
+///    the target can observe itself re-activated, so a successful
+///    termination check can never miss in-flight tuples. Batching the
+///    update per block (not per tuple) cuts the two atomic RMWs from every
+///    tuple to every ~hundred tuples without weakening the invariant: the
+///    counters always describe whole blocks, which are the only unit that
+///    ever sits in a ring.
+///  * A consumer calls AddConsumed(self, n) with the tuple total of the
+///    blocks it drained and Deactivate(self) only once it holds no
+///    unprocessed tuples.
+///  * Self-loop tuples (emitter == destination) never touch the detector:
+///    they are local state by the time the emitting iteration's Flush
+///    returns, exactly like a delta row the worker derived for itself.
 ///  * CheckTermination() double-reads the produced counter around the flag
 ///    scan; any concurrent production invalidates the round.
 class TerminationDetector {
@@ -43,6 +52,14 @@ class TerminationDetector {
 
   void Deactivate(uint32_t worker) {
     active_[worker].v.store(false, std::memory_order_release);
+  }
+
+  /// Producer-side batched update for one pushed block of `n` tuples:
+  /// raises the produced count, then re-activates the destination — the
+  /// one order under which a concurrent termination round stays sound.
+  void OnBlockPushed(uint32_t dest, uint64_t n) {
+    AddProduced(n);
+    Activate(dest);
   }
 
   bool IsActive(uint32_t worker) const {

@@ -29,6 +29,19 @@ struct alignas(64) PaddedU64 {
   std::atomic<uint64_t> v{0};
 };
 
+/// One inter-worker ring: a block-granular SPSC queue plus a tuple-granular
+/// occupancy mirror. The mirror exists because DWS's queueing model (ω/τ)
+/// reasons about tuples, not blocks — SizeApprox on the ring counts blocks,
+/// which would understate pending work by up to ~2 orders of magnitude.
+struct BlockQueue {
+  explicit BlockQueue(uint32_t capacity_blocks) : ring(capacity_blocks) {}
+
+  SpscQueue<MsgBlock> ring;
+  /// Producer adds each pushed block's tuple count; the consumer subtracts
+  /// on drain. Relaxed ordering: statistics only, never a protocol input.
+  std::atomic<uint64_t> tuples{0};
+};
+
 /// Runs one SCC of the plan with n workers under the configured strategy.
 class SccExecutor {
  public:
@@ -46,12 +59,16 @@ class SccExecutor {
         barrier_(options.num_workers),
         ssp_iters_(options.num_workers) {
     // Per-queue capacity shrinks as the worker grid grows so the n² rings
-    // stay within a sane memory budget.
-    const uint32_t per_queue = std::max<uint32_t>(
+    // stay within a sane memory budget. spsc_capacity is expressed in
+    // tuples; a block packs ~kMsgBlockWords/2 binary tuples, so dividing by
+    // that keeps the tuple capacity in the configured ballpark.
+    const uint32_t per_queue_tuples = std::max<uint32_t>(
         512, options_.spsc_capacity / std::max<uint32_t>(1, n_ / 8));
+    const uint32_t per_queue_blocks =
+        std::max<uint32_t>(8, per_queue_tuples / (kMsgBlockWords / 2));
     queues_.reserve(static_cast<size_t>(n_) * n_);
     for (uint32_t i = 0; i < n_ * n_; ++i) {
-      queues_.push_back(std::make_unique<SpscQueue<WireMsg>>(per_queue));
+      queues_.push_back(std::make_unique<BlockQueue>(per_queue_blocks));
     }
     worker_replicas_.resize(n_);
     worker_stats_.resize(n_);
@@ -76,6 +93,8 @@ class SccExecutor {
     uint64_t tuples_routed = 0;
     uint64_t tuples_folded = 0;
     uint64_t tuples_emitted = 0;
+    uint64_t blocks_sent = 0;
+    uint64_t self_loop_tuples = 0;
     uint64_t merges = 0;
     uint64_t accepts = 0;
     uint64_t cache_hits = 0;
@@ -91,7 +110,7 @@ class SccExecutor {
     std::unique_ptr<Distributor> distributor;
     DwsController dws;
     std::vector<std::vector<TupleBuf>> gather_scratch;  // Per replica.
-    std::vector<WireMsg> msg_scratch;
+    std::vector<MsgBlock> block_scratch;
     uint64_t local_iter = 0;
     int64_t idle_ns = 0;
     std::vector<TraceEvent> trace;
@@ -113,7 +132,30 @@ class SccExecutor {
         : dws(n, options) {}
   };
 
-  SpscQueue<WireMsg>& Queue(uint32_t from, uint32_t to) {
+  /// RAII idle-accounting span: on scope exit, charges the elapsed time to
+  /// the worker's idle-wait total and emits one kIdle trace event. Shared
+  /// by all three strategy loops and InactiveWait so the accounting cannot
+  /// drift between them.
+  class IdleScope {
+   public:
+    IdleScope(const SccExecutor* exec, WorkerContext* ctx)
+        : exec_(exec), ctx_(ctx), start_(MonotonicNanos()) {}
+    IdleScope(const IdleScope&) = delete;
+    IdleScope& operator=(const IdleScope&) = delete;
+    ~IdleScope() {
+      const int64_t now = MonotonicNanos();
+      ctx_->idle_ns += now - start_;
+      ctx_->Trace(TraceEvent::Kind::kIdle, start_, now, 0,
+                  exec_->options_.enable_trace, exec_->scc_ordinal_);
+    }
+
+   private:
+    const SccExecutor* exec_;
+    WorkerContext* ctx_;
+    const int64_t start_;
+  };
+
+  BlockQueue& Queue(uint32_t from, uint32_t to) {
     return *queues_[static_cast<size_t>(from) * n_ + to];
   }
 
@@ -144,9 +186,16 @@ class SccExecutor {
     ctx.regs.assign(max_regs, 0);
 
     ctx.distributor = std::make_unique<Distributor>(
-        &scc_, n_, options_.enable_partial_aggregation,
-        [this, &ctx](uint32_t dest, const WireMsg& msg) {
-          PushWithBackpressure(&ctx, dest, msg);
+        &scc_, n_, wid, options_.enable_partial_aggregation,
+        [this, &ctx](uint32_t dest, const MsgBlock& block) {
+          PushWithBackpressure(&ctx, dest, block);
+        },
+        // Self-loop bypass: the tuple's partition is this worker, so it
+        // goes straight into the local gather scratch — the next GatherAll
+        // merges it with zero ring traffic and zero detector accounting.
+        [&ctx](uint32_t replica, const uint64_t* wire, uint32_t arity) {
+          ctx.gather_scratch[replica].push_back(
+              TupleBuf::FromWords(wire, arity));
         });
 
     // Phase 0: base rules. Results flow through Distribute/Gather exactly
@@ -177,6 +226,8 @@ class SccExecutor {
     ws.tuples_routed = ctx.distributor->tuples_routed();
     ws.tuples_folded = ctx.distributor->tuples_folded();
     ws.tuples_emitted = ctx.distributor->tuples_emitted();
+    ws.blocks_sent = ctx.distributor->blocks_sent();
+    ws.self_loop_tuples = ctx.distributor->self_loop_tuples();
     for (const auto& table : replicas) {
       ws.merges += table->merges();
       ws.accepts += table->accepts();
@@ -212,21 +263,28 @@ class SccExecutor {
     }
   }
 
-  /// Drains every incoming buffer once and merges into the replicas.
-  /// Returns the number of messages consumed.
+  /// Drains every incoming buffer once, unpacks the blocks, and merges into
+  /// the replicas (together with any tuples the self-loop bypass already
+  /// parked in the gather scratch). Returns the number of ring tuples
+  /// consumed — the quantity charged to the termination detector.
   uint64_t GatherAll(WorkerContext* ctx) {
     uint64_t total = 0;
     const int64_t now = MonotonicNanos();
     for (uint32_t j = 0; j < n_; ++j) {
-      ctx->msg_scratch.clear();
-      Queue(j, ctx->wid).PopBatch(&ctx->msg_scratch);
-      ctx->dws.OnDrain(j, ctx->msg_scratch.size(), now);
-      for (const WireMsg& msg : ctx->msg_scratch) {
-        TupleBuf buf;
-        std::memcpy(buf.v, msg.w, sizeof(msg.w));
-        ctx->gather_scratch[msg.tag].push_back(buf);
+      ctx->block_scratch.clear();
+      BlockQueue& q = Queue(j, ctx->wid);
+      q.ring.PopBatch(&ctx->block_scratch);
+      uint64_t drained = 0;
+      for (const MsgBlock& block : ctx->block_scratch) {
+        auto& batch = ctx->gather_scratch[block.tag];
+        for (uint32_t t = 0; t < block.count; ++t) {
+          batch.push_back(TupleBuf::FromWords(block.Tuple(t), block.arity));
+        }
+        drained += block.count;
       }
-      total += ctx->msg_scratch.size();
+      if (drained > 0) q.tuples.fetch_sub(drained, std::memory_order_relaxed);
+      ctx->dws.OnDrain(j, drained, now);
+      total += drained;
     }
     for (size_t r = 0; r < ctx->gather_scratch.size(); ++r) {
       auto& batch = ctx->gather_scratch[r];
@@ -239,17 +297,24 @@ class SccExecutor {
   }
 
   void PushWithBackpressure(WorkerContext* ctx, uint32_t dest,
-                            const WireMsg& msg) {
-    SpscQueue<WireMsg>& q = Queue(ctx->wid, dest);
-    while (!q.TryPush(msg)) {
+                            const MsgBlock& block) {
+    BlockQueue& q = Queue(ctx->wid, dest);
+    // Raise the occupancy mirror before the push: the consumer subtracts
+    // only blocks it popped, so add-then-push can transiently overstate but
+    // never underflow the unsigned counter (pop-then-subtract could).
+    q.tuples.fetch_add(block.count, std::memory_order_relaxed);
+    while (!q.ring.TryPush(block)) {
       // Full ring: drain our own inputs (making space for workers that are
       // blocked pushing to us) and retry. This cannot livelock — every
       // worker's drain frees someone else's producer.
       if (GatherAll(ctx) == 0) std::this_thread::yield();
-      if (aborted_.load(std::memory_order_relaxed)) return;
+      if (aborted_.load(std::memory_order_relaxed)) {
+        q.tuples.fetch_sub(block.count, std::memory_order_relaxed);
+        return;
+      }
     }
-    detector_.AddProduced(1);
-    detector_.Activate(dest);
+    // One batched detector update per block, not per tuple.
+    detector_.OnBlockPushed(dest, block.count);
   }
 
   uint64_t DeltaTotal(const WorkerContext& ctx) const {
@@ -306,22 +371,12 @@ class SccExecutor {
   /// Parks the worker at its local fixpoint until new input arrives or the
   /// global fixpoint is detected. Returns false when evaluation is over.
   bool InactiveWait(WorkerContext* ctx) {
-    const int64_t park_start = MonotonicNanos();
-    const auto park_end = [this, ctx, park_start] {
-      const int64_t now = MonotonicNanos();
-      ctx->idle_ns += now - park_start;
-      ctx->Trace(TraceEvent::Kind::kIdle, park_start, now, 0,
-                 options_.enable_trace, scc_ordinal_);
-    };
+    IdleScope idle(this, ctx);
     while (true) {
-      if (Aborted()) {
-        park_end();
-        return false;
-      }
+      if (Aborted()) return false;
       GatherAll(ctx);
       if (DeltaTotal(*ctx) > 0) {
         detector_.Activate(ctx->wid);
-        park_end();
         return true;
       }
       // Producers re-activate us on every push (Algorithm 2 line 15), and
@@ -329,10 +384,7 @@ class SccExecutor {
       // cleared again after every drain that leaves the delta empty, or
       // the global-fixpoint check could never pass.
       detector_.Deactivate(ctx->wid);
-      if (detector_.CheckTermination()) {
-        park_end();
-        return false;
-      }
+      if (detector_.CheckTermination()) return false;
       std::this_thread::yield();
     }
   }
@@ -347,41 +399,32 @@ class SccExecutor {
     const auto drain_idle = [this, ctx] { GatherAll(ctx); };
     // Everyone finishes the base phase before round 1.
     {
-      const int64_t t0 = MonotonicNanos();
+      IdleScope idle(this, ctx);
       barrier_.Wait([] {}, drain_idle);
-      ctx->idle_ns += MonotonicNanos() - t0;
     }
     while (true) {
       GatherAll(ctx);
       const uint64_t delta = DeltaTotal(*ctx);
       round_delta_.fetch_add(delta, std::memory_order_acq_rel);
-      const int64_t t0 = MonotonicNanos();
-      barrier_.Wait(
-          [this] {
-            // The abort check lives in the serial section so every worker
-            // leaves the barrier protocol in the same round.
-            global_done_.store(round_delta_.load(std::memory_order_acquire) ==
-                                       0 ||
-                                   Aborted(),
-                               std::memory_order_release);
-            round_delta_.store(0, std::memory_order_release);
-          },
-          drain_idle);
       {
-        const int64_t now = MonotonicNanos();
-        ctx->idle_ns += now - t0;
-        ctx->Trace(TraceEvent::Kind::kIdle, t0, now, 0,
-                   options_.enable_trace, scc_ordinal_);
+        IdleScope idle(this, ctx);
+        barrier_.Wait(
+            [this] {
+              // The abort check lives in the serial section so every worker
+              // leaves the barrier protocol in the same round.
+              global_done_.store(
+                  round_delta_.load(std::memory_order_acquire) == 0 ||
+                      Aborted(),
+                  std::memory_order_release);
+              round_delta_.store(0, std::memory_order_release);
+            },
+            drain_idle);
       }
       if (global_done_.load(std::memory_order_acquire)) return;
       if (delta > 0) LocalIteration(ctx);
-      const int64_t t1 = MonotonicNanos();
-      barrier_.Wait([] {}, drain_idle);
       {
-        const int64_t now = MonotonicNanos();
-        ctx->idle_ns += now - t1;
-        ctx->Trace(TraceEvent::Kind::kIdle, t1, now, 0,
-                   options_.enable_trace, scc_ordinal_);
+        IdleScope idle(this, ctx);
+        barrier_.Wait([] {}, drain_idle);
       }
     }
   }
@@ -399,30 +442,18 @@ class SccExecutor {
         continue;
       }
       // Slack check against the slowest active worker.
-      const int64_t slack_start = MonotonicNanos();
-      while (!Aborted()) {
-        const uint64_t min_iter = MinActiveIteration();
-        if (min_iter == UINT64_MAX ||
-            ctx->local_iter <= min_iter + options_.ssp_slack) {
-          break;
-        }
-        GatherAll(ctx);  // Keep collecting while blocked.
-        if (detector_.Done()) {
-          {
-        const int64_t now = MonotonicNanos();
-        ctx->idle_ns += now - slack_start;
-        ctx->Trace(TraceEvent::Kind::kIdle, slack_start, now, 0,
-                   options_.enable_trace, scc_ordinal_);
-      }
-          return;
-        }
-        std::this_thread::yield();
-      }
       {
-        const int64_t now = MonotonicNanos();
-        ctx->idle_ns += now - slack_start;
-        ctx->Trace(TraceEvent::Kind::kIdle, slack_start, now, 0,
-                   options_.enable_trace, scc_ordinal_);
+        IdleScope idle(this, ctx);
+        while (!Aborted()) {
+          const uint64_t min_iter = MinActiveIteration();
+          if (min_iter == UINT64_MAX ||
+              ctx->local_iter <= min_iter + options_.ssp_slack) {
+            break;
+          }
+          GatherAll(ctx);  // Keep collecting while blocked.
+          if (detector_.Done()) return;
+          std::this_thread::yield();
+        }
       }
       LocalIteration(ctx);
       ssp_iters_[ctx->wid].v.store(ctx->local_iter,
@@ -451,24 +482,21 @@ class SccExecutor {
         delta = DeltaTotal(*ctx);
       }
       // Lines 5–8: bounded wait while the delta is small.
-      const int64_t budget_ns =
-          static_cast<int64_t>(options_.dws_timeout_us) * 1000;
-      const int64_t wait_start = MonotonicNanos();
-      while (delta > 0 &&
-             delta < static_cast<uint64_t>(ctx->dws.omega()) &&
-             !Aborted()) {
-        const int64_t waited = MonotonicNanos() - wait_start;
-        if (waited >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            options_.dws_max_wait_slice_us));
-        GatherAll(ctx);
-        delta = DeltaTotal(*ctx);
-      }
       {
-        const int64_t now = MonotonicNanos();
-        ctx->idle_ns += now - wait_start;
-        ctx->Trace(TraceEvent::Kind::kIdle, wait_start, now, 0,
-                   options_.enable_trace, scc_ordinal_);
+        const int64_t budget_ns =
+            static_cast<int64_t>(options_.dws_timeout_us) * 1000;
+        const int64_t wait_start = MonotonicNanos();
+        IdleScope idle(this, ctx);
+        while (delta > 0 &&
+               delta < static_cast<uint64_t>(ctx->dws.omega()) &&
+               !Aborted()) {
+          const int64_t waited = MonotonicNanos() - wait_start;
+          if (waited >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              options_.dws_max_wait_slice_us));
+          GatherAll(ctx);
+          delta = DeltaTotal(*ctx);
+        }
       }
       if (delta == 0) continue;
       // Line 12: refresh ω and τ from current statistics, then iterate.
@@ -480,7 +508,10 @@ class SccExecutor {
   void UpdateDws(WorkerContext* ctx) {
     std::vector<uint64_t> sizes(n_);
     for (uint32_t j = 0; j < n_; ++j) {
-      sizes[j] = Queue(j, ctx->wid).SizeApprox();
+      // The tuple-granular occupancy mirror, NOT ring.SizeApprox(): the
+      // queueing model's ω/τ are calibrated in tuples, and a block-count
+      // reading would understate pending work by the packing factor.
+      sizes[j] = Queue(j, ctx->wid).tuples.load(std::memory_order_relaxed);
     }
     ctx->dws.Update(sizes);
   }
@@ -508,6 +539,8 @@ class SccExecutor {
       stats->tuples_routed += ws.tuples_routed;
       stats->tuples_folded += ws.tuples_folded;
       stats->tuples_emitted += ws.tuples_emitted;
+      stats->blocks_sent += ws.blocks_sent;
+      stats->self_loop_tuples += ws.self_loop_tuples;
       stats->merges += ws.merges;
       stats->accepts += ws.accepts;
       stats->cache_hits += ws.cache_hits;
@@ -525,7 +558,7 @@ class SccExecutor {
   const uint32_t n_;
   const uint32_t scc_ordinal_ = 0;
 
-  std::vector<std::unique_ptr<SpscQueue<WireMsg>>> queues_;
+  std::vector<std::unique_ptr<BlockQueue>> queues_;
   TerminationDetector detector_;
   SpinBarrier barrier_;
   std::atomic<uint64_t> round_delta_{0};
@@ -545,6 +578,7 @@ std::string EvalStats::ToString() const {
      << ", local_iters(total=" << total_local_iterations
      << ", max=" << max_local_iterations << ")"
      << ", routed=" << tuples_routed << ", folded=" << tuples_folded
+     << ", blocks=" << blocks_sent << ", self_loop=" << self_loop_tuples
      << ", merges=" << merges << ", accepts=" << accepts
      << ", cache_hits=" << cache_hits
      << ", idle_wait=" << idle_wait_seconds << "s}";

@@ -32,9 +32,11 @@ struct EvalStats {
   uint64_t num_sccs = 0;
   uint64_t total_local_iterations = 0;  // Summed over workers and SCCs.
   uint64_t max_local_iterations = 0;    // Slowest worker's count, any SCC.
-  uint64_t tuples_routed = 0;           // Pushed into message buffers.
+  uint64_t tuples_routed = 0;           // Routed by Distribute (incl. self).
   uint64_t tuples_folded = 0;           // Removed by partial aggregation.
   uint64_t tuples_emitted = 0;          // Derivations handed to Distribute.
+  uint64_t blocks_sent = 0;             // MsgBlocks pushed through rings.
+  uint64_t self_loop_tuples = 0;        // Routed via the self-loop bypass.
   uint64_t merges = 0;                  // Wire tuples offered to Gather.
   uint64_t accepts = 0;                 // ... that changed a table.
   uint64_t cache_hits = 0;              // Existence-cache fast paths.

@@ -515,6 +515,8 @@ class RuleCompiler {
 
   Status CompileHead(const RuleHead& head) {
     out_.head.predicate = head.predicate;
+    out_.head.pred_id = scc_->PredIdOf(head.predicate);
+    DCD_CHECK(out_.head.pred_id >= 0);
     out_.head.agg = plan_->agg_specs.at(head.predicate);
     const AggSpec& spec = out_.head.agg;
     const PredicateInfo& info = analysis_.predicate(head.predicate);
@@ -595,6 +597,13 @@ std::vector<int> SccPlan::ReplicasOf(const std::string& pred) const {
     if (replicas[i].predicate == pred) out.push_back(static_cast<int>(i));
   }
   return out;
+}
+
+int SccPlan::PredIdOf(const std::string& pred) const {
+  for (size_t i = 0; i < derived_preds.size(); ++i) {
+    if (derived_preds[i] == pred) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 std::string PhysicalRule::ToString() const {

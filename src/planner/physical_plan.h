@@ -107,6 +107,10 @@ struct ReplicaSpec {
 /// The head side of a physical rule: wire-tuple construction and routing.
 struct HeadSpec {
   std::string predicate;
+  /// Dense plan-time id: index of `predicate` in the owning SCC's
+  /// derived_preds. Lets the Distributor keep per-predicate state in a flat
+  /// vector instead of a string map on the per-emit hot path.
+  int pred_id = -1;
   std::vector<CompiledExpr> wire_exprs;  // One per wire column.
   AggSpec agg;
 };
@@ -155,6 +159,9 @@ struct SccPlan {
   /// Replica ids for a predicate, in registration order (the first one is
   /// the canonical replica whose union forms the final relation).
   std::vector<int> ReplicasOf(const std::string& pred) const;
+
+  /// Dense id of a derived predicate (its index in derived_preds), or -1.
+  int PredIdOf(const std::string& pred) const;
 
   std::string ToString() const;
 };

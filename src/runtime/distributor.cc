@@ -20,35 +20,62 @@ bool Better(const AggSpec& spec, uint64_t candidate, uint64_t current) {
 }  // namespace
 
 Distributor::Distributor(const SccPlan* scc, uint32_t num_workers,
-                         bool partial_agg, SinkFn sink)
+                         uint32_t self_worker, bool partial_agg, SinkFn sink,
+                         SelfSinkFn self_sink)
     : scc_(scc),
       num_workers_(num_workers),
+      num_replicas_(static_cast<uint32_t>(scc->replicas.size())),
+      self_worker_(self_worker),
       partial_agg_(partial_agg),
-      sink_(std::move(sink)) {}
+      sink_(std::move(sink)),
+      self_sink_(std::move(self_sink)),
+      per_pred_(scc->derived_preds.size()),
+      staging_(static_cast<size_t>(num_workers) * scc->replicas.size()) {}
 
 Distributor::PerPredicate& Distributor::StateFor(const HeadSpec& head) {
-  auto [it, inserted] = per_pred_.try_emplace(head.predicate);
-  PerPredicate& pp = it->second;
-  if (inserted) {
+  DCD_DCHECK(head.pred_id >= 0 &&
+             static_cast<size_t>(head.pred_id) < per_pred_.size());
+  PerPredicate& pp = per_pred_[static_cast<size_t>(head.pred_id)];
+  if (pp.head == nullptr) {
     pp.head = &head;
+    pp.wire_arity = head.agg.wire_arity;
+    pp.block_capacity = MsgBlock::CapacityFor(pp.wire_arity);
     pp.replica_ids = scc_->ReplicasOf(head.predicate);
     DCD_CHECK(!pp.replica_ids.empty());
   }
   return pp;
 }
 
+void Distributor::SendBlock(uint32_t dest, MsgBlock* block) {
+  sink_(dest, *block);
+  ++blocks_sent_;
+  block->count = 0;
+}
+
 void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
-  const uint32_t arity = pp.head->agg.wire_arity;
-  WireMsg msg;
-  std::memcpy(msg.w, wire, arity * sizeof(uint64_t));
+  const uint32_t arity = pp.wire_arity;
+  const uint32_t capacity = pp.block_capacity;
   for (int rid : pp.replica_ids) {
     const ReplicaSpec& replica = scc_->replicas[rid];
-    msg.tag = static_cast<uint64_t>(rid);
     const uint64_t key =
         replica.partition_constant ? 0 : wire[replica.partition_col];
     const uint32_t dest = PartitionOf(key, num_workers_);
-    sink_(dest, msg);
     ++tuples_routed_;
+    if (dest == self_worker_) {
+      // Self-loop bypass: the tuple never leaves this worker, so it skips
+      // the rings and the produced/consumed accounting entirely.
+      ++self_loop_tuples_;
+      self_sink_(static_cast<uint32_t>(rid), wire, arity);
+      continue;
+    }
+    MsgBlock& block = StagingFor(dest, static_cast<uint32_t>(rid));
+    if (block.count == 0) {
+      block.tag = static_cast<uint16_t>(rid);
+      block.arity = static_cast<uint16_t>(arity);
+    }
+    std::memcpy(block.AppendSlot(), wire, arity * sizeof(uint64_t));
+    ++block.count;
+    if (block.count >= capacity) SendBlock(dest, &block);
   }
 }
 
@@ -68,21 +95,31 @@ void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
   const uint32_t value_col = spec.stored_arity - 1;
   auto [it, inserted] = pp.partial.try_emplace(group);
   if (inserted) {
-    std::memcpy(it->second.w, wire, spec.wire_arity * sizeof(uint64_t));
+    it->second = TupleBuf::FromWords(wire, spec.wire_arity);
     return;
   }
   ++tuples_folded_;
-  if (Better(spec, wire[value_col], it->second.w[value_col])) {
-    std::memcpy(it->second.w, wire, spec.wire_arity * sizeof(uint64_t));
+  if (Better(spec, wire[value_col], it->second.v[value_col])) {
+    it->second = TupleBuf::FromWords(wire, spec.wire_arity);
   }
 }
 
 void Distributor::Flush() {
-  for (auto& [pred, pp] : per_pred_) {
-    for (const auto& [group, msg] : pp.partial) {
-      Route(pp, msg.w);
+  for (PerPredicate& pp : per_pred_) {
+    if (pp.head == nullptr || pp.partial.empty()) continue;
+    for (const auto& [group, buf] : pp.partial) {
+      Route(pp, buf.v);
     }
     pp.partial.clear();
+  }
+  // Ship every partial block: nothing may linger in staging across the
+  // iteration boundary, or termination detection and DWS's queue-size
+  // signals would miss in-flight tuples.
+  for (uint32_t dest = 0; dest < num_workers_; ++dest) {
+    for (uint32_t r = 0; r < num_replicas_; ++r) {
+      MsgBlock& block = StagingFor(dest, r);
+      if (block.count > 0) SendBlock(dest, &block);
+    }
   }
 }
 

@@ -3,8 +3,6 @@
 
 #include <cstring>
 #include <functional>
-#include <map>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +10,7 @@
 #include "planner/physical_plan.h"
 #include "runtime/message.h"
 #include "storage/btree.h"
+#include "storage/tuple.h"
 
 namespace dcdatalog {
 
@@ -21,27 +20,43 @@ namespace dcdatalog {
 /// first performs partial aggregation (Figure 7) — only the per-group best
 /// of this iteration crosses worker boundaries.
 ///
+/// Communication is block-batched: tuples bound for a remote worker pack
+/// densely (wire_arity words each) into per-(destination, replica) staging
+/// MsgBlocks that ship when full and at every Flush(). Tuples whose
+/// partition hash routes back to the emitting worker take the self-loop
+/// bypass instead — handed to `self_sink` with no ring traffic and no
+/// termination-detector accounting.
+///
 /// One instance per worker; not synchronized.
 class Distributor {
  public:
-  /// sink(dest_worker, msg) enqueues one message; it must handle
-  /// backpressure itself.
-  using SinkFn = std::function<void(uint32_t, const WireMsg&)>;
+  /// sink(dest_worker, block) enqueues one full or partial block; it must
+  /// handle backpressure itself.
+  using SinkFn = std::function<void(uint32_t, const MsgBlock&)>;
 
-  Distributor(const SccPlan* scc, uint32_t num_workers, bool partial_agg,
-              SinkFn sink);
+  /// self_sink(replica_id, wire, arity) accepts one tuple whose partition
+  /// is the emitting worker itself (typically: append to the local gather
+  /// scratch so the next merge picks it up).
+  using SelfSinkFn = std::function<void(uint32_t, const uint64_t*, uint32_t)>;
+
+  Distributor(const SccPlan* scc, uint32_t num_workers, uint32_t self_worker,
+              bool partial_agg, SinkFn sink, SelfSinkFn self_sink);
 
   /// Accepts one wire tuple derived for `head`. Min/max tuples are folded
   /// into the partial-aggregation buffer; everything else routes at once.
   void Emit(const HeadSpec& head, const uint64_t* wire);
 
-  /// Routes all buffered partial aggregates. Call once per local iteration,
-  /// after the last rule ran.
+  /// Routes all buffered partial aggregates and ships every non-empty
+  /// staging block. Call once per local iteration, after the last rule ran
+  /// — coordination (and termination detection) relies on nothing lingering
+  /// in staging between iterations.
   void Flush();
 
   uint64_t tuples_routed() const { return tuples_routed_; }
   uint64_t tuples_folded() const { return tuples_folded_; }
   uint64_t tuples_emitted() const { return tuples_emitted_; }
+  uint64_t blocks_sent() const { return blocks_sent_; }
+  uint64_t self_loop_tuples() const { return self_loop_tuples_; }
 
  private:
   struct U128Hash {
@@ -51,22 +66,40 @@ class Distributor {
   };
   struct PerPredicate {
     const HeadSpec* head = nullptr;  // Any rule's head for this predicate.
+    uint32_t wire_arity = 0;
+    uint32_t block_capacity = 0;  // CapacityFor(wire_arity), hoisted out of
+                                  // Route — the division is per-predicate
+                                  // state, not per-tuple work.
     std::vector<int> replica_ids;
-    std::unordered_map<U128, WireMsg, U128Hash> partial;
+    std::unordered_map<U128, TupleBuf, U128Hash> partial;
   };
 
   void Route(const PerPredicate& pp, const uint64_t* wire);
+
+  MsgBlock& StagingFor(uint32_t dest, uint32_t replica) {
+    return staging_[static_cast<size_t>(dest) * num_replicas_ + replica];
+  }
+
+  void SendBlock(uint32_t dest, MsgBlock* block);
 
   PerPredicate& StateFor(const HeadSpec& head);
 
   const SccPlan* scc_;
   const uint32_t num_workers_;
+  const uint32_t num_replicas_;
+  const uint32_t self_worker_;
   const bool partial_agg_;
   SinkFn sink_;
-  std::map<std::string, PerPredicate> per_pred_;
+  SelfSinkFn self_sink_;
+  /// Indexed by HeadSpec::pred_id (dense, assigned at plan time).
+  std::vector<PerPredicate> per_pred_;
+  /// Per-(destination, replica) staging blocks, dest-major.
+  std::vector<MsgBlock> staging_;
   uint64_t tuples_routed_ = 0;
   uint64_t tuples_folded_ = 0;
   uint64_t tuples_emitted_ = 0;
+  uint64_t blocks_sent_ = 0;
+  uint64_t self_loop_tuples_ = 0;
 };
 
 }  // namespace dcdatalog

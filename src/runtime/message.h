@@ -3,20 +3,47 @@
 
 #include <cstdint>
 
+#include "common/logging.h"
+
 namespace dcdatalog {
 
-/// Maximum wire-tuple width carried by one message.
+/// Maximum wire-tuple width the message format carries.
 inline constexpr uint32_t kMaxWireWords = 7;
 
-/// The unit of inter-worker communication: one wire tuple tagged with the
-/// replica it belongs to. Exactly one cache line, so the SPSC rings move
-/// whole messages without false sharing.
-struct WireMsg {
-  uint64_t tag = 0;  // Replica id within the SCC being evaluated.
-  uint64_t w[kMaxWireWords];
+/// 64-bit payload words in one message block. One block is exactly 2 KiB:
+/// a one-word header plus 255 words of densely packed wire tuples.
+inline constexpr uint32_t kMsgBlockWords = 255;
+
+/// The unit of inter-worker communication: one block of wire tuples, all
+/// belonging to the same replica. Tuples are packed back to back at their
+/// true wire arity (`arity` words each, not a fixed cache line), so a
+/// binary-edge block moves ~127 tuples per ring slot where the per-tuple
+/// format moved one. The SPSC rings carry whole blocks; the termination
+/// detector is charged once per block (`count` tuples), not per tuple.
+struct MsgBlock {
+  uint16_t tag = 0;       // Replica id within the SCC being evaluated.
+  uint16_t count = 0;     // Packed tuples.
+  uint16_t arity = 0;     // Words per tuple (the head's wire arity).
+  uint16_t reserved = 0;  // Keeps the header at exactly one word.
+  uint64_t w[kMsgBlockWords];
+
+  /// Tuples of `arity` words that fit in one block.
+  static constexpr uint32_t CapacityFor(uint32_t arity) {
+    return kMsgBlockWords / arity;
+  }
+
+  const uint64_t* Tuple(uint32_t i) const {
+    DCD_DCHECK(i < count);
+    return &w[i * arity];
+  }
+
+  /// Start of the next free tuple slot; valid only while count < capacity.
+  uint64_t* AppendSlot() { return &w[static_cast<uint32_t>(count) * arity]; }
 };
 
-static_assert(sizeof(WireMsg) == 64, "WireMsg must be one cache line");
+static_assert(sizeof(MsgBlock) == 2048, "MsgBlock must stay 2 KiB");
+static_assert(MsgBlock::CapacityFor(kMaxWireWords) >= 1,
+              "a block must hold at least one maximal wire tuple");
 
 }  // namespace dcdatalog
 

@@ -44,15 +44,32 @@ struct TupleBuf {
   explicit TupleBuf(TupleRef ref) {
     DCD_DCHECK(ref.arity <= kMaxArity);
     std::memcpy(v, ref.data, ref.arity * sizeof(uint64_t));
+    ZeroTail(ref.arity);
   }
 
   TupleBuf(std::initializer_list<uint64_t> init) {
     DCD_DCHECK(init.size() <= kMaxArity);
     size_t i = 0;
     for (uint64_t w : init) v[i++] = w;
+    ZeroTail(static_cast<uint32_t>(i));
+  }
+
+  /// Copies `n` wire words and zero-fills the tail, so full 64-byte copies
+  /// of the buffer never read uninitialized memory (MSan/valgrind clean).
+  static TupleBuf FromWords(const uint64_t* words, uint32_t n) {
+    DCD_DCHECK(n <= kMaxArity);
+    TupleBuf buf;
+    std::memcpy(buf.v, words, n * sizeof(uint64_t));
+    buf.ZeroTail(n);
+    return buf;
   }
 
   TupleRef Ref(uint32_t arity) const { return TupleRef{v, arity}; }
+
+ private:
+  void ZeroTail(uint32_t from) {
+    std::memset(v + from, 0, (kMaxArity - from) * sizeof(uint64_t));
+  }
 };
 
 static_assert(sizeof(TupleBuf) == 64, "TupleBuf should be one cache line");

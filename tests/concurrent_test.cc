@@ -12,6 +12,7 @@
 #include "concurrent/spsc_queue.h"
 #include "concurrent/termination.h"
 #include "concurrent/worker_pool.h"
+#include "runtime/message.h"
 
 namespace dcdatalog {
 namespace {
@@ -52,6 +53,36 @@ TEST(SpscQueueTest, PopBatchRespectsMax) {
   EXPECT_EQ(q.PopBatch(&out, 100), 6u);
 }
 
+TEST(SpscQueueTest, PopBatchMaxAcrossWraparound) {
+  // Drive the indices far past capacity_ so (head + i) & mask_ wraps within
+  // a single bounded batch, and verify the bound plus FIFO order hold.
+  SpscQueue<uint64_t> q(8);
+  uint64_t next_push = 0;
+  uint64_t next_pop = 0;
+  std::vector<uint64_t> out;
+  for (int round = 0; round < 50; ++round) {
+    while (q.TryPush(next_push)) ++next_push;  // Fill to capacity.
+    out.clear();
+    // The queue is full, but the consumer's cached tail may be stale, so
+    // PopBatch guarantees only 1 <= popped <= max here.
+    const uint64_t popped = q.PopBatch(&out, 3);
+    ASSERT_GE(popped, 1u);
+    ASSERT_LE(popped, 3u);
+    ASSERT_EQ(out.size(), popped);
+    for (uint64_t v : out) EXPECT_EQ(v, next_pop++);
+  }
+  // Indices are now far beyond capacity_; drain the residue (repeated calls
+  // because a stale tail cache may split it) and verify order to the end.
+  EXPECT_GT(next_push, 100u);
+  while (next_pop < next_push) {
+    out.clear();
+    ASSERT_GT(q.PopBatch(&out), 0u);
+    for (uint64_t v : out) EXPECT_EQ(v, next_pop++);
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_TRUE(q.EmptyApprox());
+}
+
 TEST(SpscQueueTest, WrapAroundPreservesFifo) {
   SpscQueue<int> q(4);
   int out;
@@ -89,6 +120,52 @@ TEST(SpscQueueTest, TwoThreadStress) {
   }
   producer.join();
   EXPECT_TRUE(q.EmptyApprox());
+}
+
+TEST(SpscQueueTest, TwoThreadStressBlockElements) {
+  // Same producer/consumer race but over 2 KiB MsgBlock elements — the
+  // element type the engine actually ships — so the copy into and out of a
+  // slot spans many cache lines and any torn publish shows up as a payload
+  // mismatch.
+  SpscQueue<MsgBlock> q(64);
+  constexpr uint64_t kBlocks = 20000;
+  std::thread producer([&q] {
+    for (uint64_t i = 0; i < kBlocks; ++i) {
+      MsgBlock b;
+      b.tag = static_cast<uint16_t>(i & 0x7);
+      b.arity = 2;
+      b.count = static_cast<uint16_t>(1 + (i % MsgBlock::CapacityFor(2)));
+      for (uint32_t t = 0; t < b.count; ++t) {
+        b.w[t * 2] = i;
+        b.w[t * 2 + 1] = i ^ (t + 1);
+      }
+      while (!q.TryPush(b)) std::this_thread::yield();
+    }
+  });
+  uint64_t seen = 0;
+  uint64_t tuples = 0;
+  std::vector<MsgBlock> batch;
+  while (seen < kBlocks) {
+    batch.clear();
+    if (q.PopBatch(&batch, 16) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const MsgBlock& b : batch) {
+      ASSERT_EQ(b.tag, seen & 0x7);
+      ASSERT_EQ(b.arity, 2u);
+      ASSERT_EQ(b.count, 1 + (seen % MsgBlock::CapacityFor(2)));
+      for (uint32_t t = 0; t < b.count; ++t) {
+        ASSERT_EQ(b.w[t * 2], seen);
+        ASSERT_EQ(b.w[t * 2 + 1], seen ^ (t + 1));
+      }
+      tuples += b.count;
+      ++seen;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.EmptyApprox());
+  EXPECT_GT(tuples, kBlocks);  // Every block carried at least one tuple.
 }
 
 TEST(BarrierTest, RendezvousCounts) {

@@ -4,12 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/random.h"
 #include "concurrent/spsc_queue.h"
+#include "concurrent/termination.h"
+#include "concurrent/worker_pool.h"
 #include "core/dcdatalog.h"
+#include "runtime/message.h"
 #include "core/reference.h"
 #include "graph/generators.h"
 #include "storage/btree.h"
@@ -111,6 +117,107 @@ TEST(SpscStress, CacheLinePayloadTwoThreads) {
     }
   }
   producer.join();
+}
+
+TEST(TerminationStress, BlockBatchedFixpointBalancesCounters) {
+  // Full block-batched termination protocol under real thread interleaving
+  // (run this under TSan): n workers diffuse TTL-decrementing tokens through
+  // an n×n grid of SpscQueue<MsgBlock> rings, batching detector updates to
+  // one OnBlockPushed per block and one AddConsumed per drain, with the
+  // self-loop bypass for tokens that route back to their producer. Traffic
+  // mixes full blocks (fanout bursts) and partial flushes (iteration ends),
+  // and at fixpoint every produced tuple must have been consumed.
+  constexpr uint32_t kWorkers = 4;
+  constexpr uint64_t kSeedsPerWorker = 8;
+  constexpr uint64_t kInitialTtl = 12;
+  constexpr uint32_t kArity = 1;  // A token is one word: its TTL.
+
+  TerminationDetector det(kWorkers);
+  std::vector<std::unique_ptr<SpscQueue<MsgBlock>>> grid;
+  for (uint32_t i = 0; i < kWorkers * kWorkers; ++i) {
+    grid.push_back(std::make_unique<SpscQueue<MsgBlock>>(16));
+  }
+  auto ring = [&](uint32_t from, uint32_t to) -> SpscQueue<MsgBlock>& {
+    return *grid[from * kWorkers + to];
+  };
+  std::atomic<uint64_t> tokens_processed{0};
+
+  RunWorkers(kWorkers, [&](uint32_t wid) {
+    std::vector<uint64_t> pending(kSeedsPerWorker, kInitialTtl);
+    std::vector<MsgBlock> staging(kWorkers);
+    std::vector<MsgBlock> batch;
+    uint64_t local_processed = 0;
+    Rng rng(1000 + wid);
+
+    // Drains every inbound ring into `pending`; one AddConsumed per call.
+    auto drain = [&]() -> uint64_t {
+      batch.clear();
+      for (uint32_t src = 0; src < kWorkers; ++src) {
+        ring(src, wid).PopBatch(&batch);
+      }
+      uint64_t tuples = 0;
+      for (const MsgBlock& b : batch) {
+        for (uint32_t t = 0; t < b.count; ++t) pending.push_back(*b.Tuple(t));
+        tuples += b.count;
+      }
+      if (tuples > 0) det.AddConsumed(wid, tuples);
+      return tuples;
+    };
+    auto push_block = [&](uint32_t dest) {
+      MsgBlock& b = staging[dest];
+      while (!ring(wid, dest).TryPush(b)) {
+        drain();  // Backpressure: free our own inbound rings, never spin dry.
+        std::this_thread::yield();
+      }
+      det.OnBlockPushed(dest, b.count);
+      b.count = 0;
+    };
+    auto route = [&](uint64_t ttl) {
+      const uint32_t dest = PartitionOf(ttl + rng.Uniform(1 << 20), kWorkers);
+      if (dest == wid) {
+        pending.push_back(ttl);  // Self-loop bypass: no ring, no detector.
+        return;
+      }
+      MsgBlock& b = staging[dest];
+      if (b.count == 0) b.arity = kArity;
+      *b.AppendSlot() = ttl;
+      ++b.count;
+      if (b.count >= MsgBlock::CapacityFor(kArity)) push_block(dest);
+    };
+
+    while (!det.Done()) {
+      drain();
+      if (!pending.empty()) {
+        // Process this iteration's tokens; their children go out in blocks.
+        std::vector<uint64_t> work;
+        work.swap(pending);
+        for (uint64_t ttl : work) {
+          ++local_processed;
+          if (ttl == 0) continue;
+          const uint64_t fanout = 1 + rng.Uniform(2);
+          for (uint64_t f = 0; f < fanout; ++f) route(ttl - 1);
+        }
+        // End of iteration: every partial block must flush.
+        for (uint32_t dest = 0; dest < kWorkers; ++dest) {
+          if (staging[dest].count > 0) push_block(dest);
+        }
+        continue;
+      }
+      det.Deactivate(wid);
+      if (det.CheckTermination()) break;
+      std::this_thread::yield();
+    }
+    tokens_processed.fetch_add(local_processed);
+  });
+
+  EXPECT_TRUE(det.Done());
+  // The invariant the batched protocol must preserve: at fixpoint, counters
+  // balance exactly — no block was pushed without being accounted, none was
+  // drained twice, and no self-loop token ever touched them.
+  EXPECT_EQ(det.produced(), det.consumed_total());
+  EXPECT_GT(det.produced(), 0u);
+  EXPECT_GE(tokens_processed.load(), kWorkers * kSeedsPerWorker);
+  for (auto& q : grid) EXPECT_TRUE(q->EmptyApprox());
 }
 
 TEST(EngineStress, RepeatedRandomizedCcRuns) {
