@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/chaos.h"
 #include "common/logging.h"
 
 namespace dcdatalog {
@@ -34,6 +35,11 @@ class SpscQueue {
 
   /// Producer side. Returns false if the ring is full.
   bool TryPush(const T& item) {
+    // Fuzzing hook: a chaos schedule may force a spurious "full" here,
+    // driving the producer through its backpressure path (no-op in
+    // release builds and whenever no schedule is installed).
+    if (DCD_CHAOS_FAIL(kQueuePush)) return false;
+    DCD_CHAOS_POINT(kQueuePush);
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_cache_;
     if (tail - head >= capacity_) {
@@ -48,6 +54,7 @@ class SpscQueue {
 
   /// Consumer side. Returns false if the ring is empty.
   bool TryPop(T* out) {
+    DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -62,6 +69,7 @@ class SpscQueue {
   /// the number popped. Batch draining is what Gather does once per local
   /// iteration.
   uint64_t PopBatch(std::vector<T>* out, uint64_t max = UINT64_MAX) {
+    DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_cache_;
     if (head == tail) {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/chaos.h"
+
 namespace dcdatalog {
 
 /// Global-fixpoint detector, paper §6.1: evaluation terminates when (i) all
@@ -85,6 +87,9 @@ class TerminationDetector {
   bool CheckTermination() {
     if (Done()) return true;
     const uint64_t p1 = produced();
+    // Fuzzing hook: widens the window between the two produced() reads so
+    // rare interleavings of the double-read protocol get exercised.
+    DCD_CHAOS_POINT(kTermination);
     if (consumed_total() != p1) return false;
     for (const auto& flag : active_) {
       if (flag.v.load(std::memory_order_acquire)) return false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/chaos.h"
+
 namespace dcdatalog {
 
 void RunWorkers(uint32_t num_workers,
@@ -13,7 +15,12 @@ void RunWorkers(uint32_t num_workers,
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    threads.emplace_back([&fn, w] { fn(w); });
+    threads.emplace_back([&fn, w] {
+      // Fuzzing hook: staggers worker start-up so the base phase does not
+      // always begin in lockstep.
+      DCD_CHAOS_POINT(kWorkerStart);
+      fn(w);
+    });
   }
   for (auto& t : threads) t.join();
 }

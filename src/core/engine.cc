@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/chaos.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/timer.h"
@@ -268,6 +269,7 @@ class SccExecutor {
   /// parked in the gather scratch). Returns the number of ring tuples
   /// consumed — the quantity charged to the termination detector.
   uint64_t GatherAll(WorkerContext* ctx) {
+    DCD_CHAOS_POINT(kGather);
     uint64_t total = 0;
     const int64_t now = MonotonicNanos();
     for (uint32_t j = 0; j < n_; ++j) {
@@ -403,6 +405,7 @@ class SccExecutor {
       barrier_.Wait([] {}, drain_idle);
     }
     while (true) {
+      DCD_CHAOS_POINT(kStrategyLoop);
       GatherAll(ctx);
       const uint64_t delta = DeltaTotal(*ctx);
       round_delta_.fetch_add(delta, std::memory_order_acq_rel);
@@ -433,6 +436,7 @@ class SccExecutor {
   /// iterations ahead of the slowest active worker (paper §4.1 / [14]).
   void SspLoop(WorkerContext* ctx) {
     while (!Aborted()) {
+      DCD_CHAOS_POINT(kStrategyLoop);
       GatherAll(ctx);
       if (DeltaTotal(*ctx) == 0) {
         ssp_iters_[ctx->wid].v.store(UINT64_MAX, std::memory_order_release);
@@ -475,6 +479,7 @@ class SccExecutor {
   /// before iterating; ω and τ come from the queueing model.
   void DwsLoop(WorkerContext* ctx) {
     while (!Aborted()) {
+      DCD_CHAOS_POINT(kStrategyLoop);
       GatherAll(ctx);
       uint64_t delta = DeltaTotal(*ctx);
       if (delta == 0) {

@@ -1,10 +1,32 @@
 #include "runtime/distributor.h"
 
+#include "common/chaos.h"
 #include "common/logging.h"
 #include "common/value.h"
 
+#if DCD_CHAOS_ENABLED
+#include <cstdlib>
+#include <string_view>
+#endif
+
 namespace dcdatalog {
 namespace {
+
+#if DCD_CHAOS_ENABLED
+/// Fault-injection backdoor for validating the fuzz harness itself
+/// (tools/dcd_fuzz --inject-bug): when the environment variable
+/// DCD_INJECT_BUG=distributor_offbyone is set, every 8th routed tuple goes
+/// to the wrong partition, breaking the ownership invariant the
+/// differential oracle must catch. Compiled out of release builds with the
+/// rest of the chaos layer.
+bool InjectDistributorOffByOne() {
+  static const bool on = [] {
+    const char* v = std::getenv("DCD_INJECT_BUG");
+    return v != nullptr && std::string_view(v) == "distributor_offbyone";
+  }();
+  return on;
+}
+#endif
 
 bool Better(const AggSpec& spec, uint64_t candidate, uint64_t current) {
   if (spec.value_type == ColumnType::kDouble) {
@@ -59,7 +81,18 @@ void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
     const ReplicaSpec& replica = scc_->replicas[rid];
     const uint64_t key =
         replica.partition_constant ? 0 : wire[replica.partition_col];
-    const uint32_t dest = PartitionOf(key, num_workers_);
+    uint32_t dest = PartitionOf(key, num_workers_);
+#if DCD_CHAOS_ENABLED
+    // Misroute every 8th routed tuple. Crucially this is inconsistent per
+    // key — a consistent misroute would just be a different (still correct)
+    // partition function, since base relations are probed through global
+    // shared indexes. Inconsistency violates partition ownership: the same
+    // logical tuple can land on two workers (duplicate output rows) and an
+    // aggregate group can split across workers (two rows per group).
+    if (InjectDistributorOffByOne() && (++inject_route_count_ & 7) == 0) {
+      dest = (dest + 1) % num_workers_;
+    }
+#endif
     ++tuples_routed_;
     if (dest == self_worker_) {
       // Self-loop bypass: the tuple never leaves this worker, so it skips

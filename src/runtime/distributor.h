@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/chaos.h"
 #include "common/hash.h"
 #include "planner/physical_plan.h"
 #include "runtime/message.h"
@@ -100,6 +101,13 @@ class Distributor {
   uint64_t tuples_emitted_ = 0;
   uint64_t blocks_sent_ = 0;
   uint64_t self_loop_tuples_ = 0;
+#if DCD_CHAOS_ENABLED
+  /// Per-worker routing counter for the DCD_INJECT_BUG=distributor_offbyone
+  /// fault (see distributor.cc). A member, not a static: distributors are
+  /// per-worker, and the fault must not introduce cross-thread traffic of
+  /// its own.
+  uint64_t inject_route_count_ = 0;
+#endif
 };
 
 }  // namespace dcdatalog

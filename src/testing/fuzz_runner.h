@@ -1,0 +1,76 @@
+#ifndef DCDATALOG_TESTING_FUZZ_RUNNER_H_
+#define DCDATALOG_TESTING_FUZZ_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "storage/relation.h"
+#include "testing/program_gen.h"
+
+namespace dcdatalog {
+namespace testing_gen {
+
+/// How one differential run ended.
+enum class OutcomeKind : uint8_t {
+  kAgree = 0,           // Engine and reference produced identical multisets.
+  kMismatch,            // They disagree — the interesting case.
+  kEngineError,         // Engine Run() returned a non-OK status.
+  kReferenceError,      // The oracle itself failed (e.g. round limit).
+  kLoadError,           // The case did not parse/analyze — generator bug.
+};
+
+const char* OutcomeKindName(OutcomeKind kind);
+
+/// One engine configuration to diff against the reference.
+struct RunConfig {
+  CoordinationMode mode = CoordinationMode::kDws;
+  uint32_t num_workers = 4;
+  /// Safety valve forwarded to EngineOptions so a termination-detection bug
+  /// surfaces as kEngineError instead of spinning forever (the fork-based
+  /// driver additionally wall-clock-kills true hangs).
+  uint64_t max_global_iterations = 200000;
+  /// Cap forwarded to ReferenceEvaluate.
+  uint64_t reference_max_rounds = 100000;
+};
+
+struct RunOutcome {
+  OutcomeKind kind = OutcomeKind::kAgree;
+  /// Failure detail: status message, or a per-predicate diff excerpt.
+  std::string detail;
+};
+
+/// Sorted multiset of rows, one entry per output predicate.
+using RowMultiset = std::vector<std::vector<uint64_t>>;
+using OracleRows = std::map<std::string, RowMultiset>;
+
+/// Rows of `rel` as a sorted multiset. Deliberately NOT a set: a
+/// partition-ownership violation (the same tuple owned by two workers)
+/// materializes as a duplicated row, which set-comparison would mask.
+RowMultiset SortedRows(const Relation& rel);
+
+/// Evaluates `c` with the single-threaded reference interpreter and fills
+/// `*out` with one sorted multiset per output predicate. The oracle is
+/// configuration-independent, so the fuzz driver computes it once per case
+/// and diffs every mode × worker-count engine run against the same rows.
+/// Returns kAgree on success, kLoadError / kReferenceError otherwise.
+RunOutcome ComputeOracle(const FuzzCase& c, uint64_t max_rounds,
+                         OracleRows* out);
+
+/// Evaluates `c` once with the parallel engine under `config` and compares
+/// every output predicate's extension against `oracle` as sorted multisets.
+/// Generated programs are all-integer, so comparison is exact — no
+/// floating-point tolerance is needed.
+RunOutcome RunEngineOnce(const FuzzCase& c, const RunConfig& config,
+                         const OracleRows& oracle);
+
+/// Convenience wrapper: ComputeOracle + RunEngineOnce in one call, for
+/// tests and single-shot use.
+RunOutcome RunCaseOnce(const FuzzCase& c, const RunConfig& config);
+
+}  // namespace testing_gen
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_TESTING_FUZZ_RUNNER_H_

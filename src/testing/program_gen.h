@@ -1,0 +1,62 @@
+#ifndef DCDATALOG_TESTING_PROGRAM_GEN_H_
+#define DCDATALOG_TESTING_PROGRAM_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dcdatalog.h"
+#include "graph/graph.h"
+
+namespace dcdatalog {
+namespace testing_gen {
+
+/// Knobs for the random program generator. Everything is deterministic in
+/// `seed`: the same options always yield the same program and EDB.
+struct GenOptions {
+  uint64_t seed = 0;
+  /// How many IDB "blocks" to stack (each block defines one predicate —
+  /// two for the mutual-recursion family — possibly on top of earlier
+  /// ones). The actual count is drawn from [1, max_blocks].
+  uint32_t max_blocks = 4;
+  /// Upper bound on EDB graph size; actual sizes are drawn below it.
+  uint64_t max_vertices = 60;
+  bool allow_aggregates = true;
+  bool allow_nonlinear = true;
+  bool allow_negation = true;
+  bool allow_mutual = true;
+};
+
+/// One generated differential-test case: a Datalog program over a random
+/// EDB graph, plus the list of derived predicates whose extensions the
+/// harness diffs against the reference oracle.
+///
+/// The graph is loaded twice — as `arc(src, dst)` and, with its random
+/// weights, as `warc(src, dst, w)` — so generated rules may draw on either
+/// shape; programs reference whichever subset they need.
+struct FuzzCase {
+  uint64_t seed = 0;
+  std::string program;               // Datalog text, one rule per line.
+  Graph graph;                       // EDB; weights already assigned.
+  std::vector<std::string> outputs;  // Derived predicates to compare.
+
+  /// Loads the EDB (arc + warc) and the program into `db`.
+  Status Load(DCDatalog* db) const;
+
+  /// Human-readable dump for failure reports.
+  std::string ToString() const;
+};
+
+/// Generates one case. The result is guaranteed to parse and pass program
+/// analysis against its own EDB (checked internally; the generator falls
+/// back to a plain transitive-closure program in the never-observed event
+/// that a template instantiation is rejected). All generated programs
+/// terminate: value-generating arithmetic only appears under `min` with
+/// non-negative increments, `max` only propagates values drawn from finite
+/// domains, and `count` ranges over finite contributor sets.
+FuzzCase GenerateCase(const GenOptions& options);
+
+}  // namespace testing_gen
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_TESTING_PROGRAM_GEN_H_

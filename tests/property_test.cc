@@ -11,6 +11,8 @@
 #include "core/dcdatalog.h"
 #include "core/reference.h"
 #include "graph/generators.h"
+#include "testing/fuzz_runner.h"
+#include "testing/program_gen.h"
 #include "tests/test_util.h"
 
 namespace dcdatalog {
@@ -157,6 +159,43 @@ TEST_P(RandomProgramTest, RandomReachabilityVariant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 12));
+
+/// Generator-found regression corpus: fixed seeds of the fuzz-harness
+/// program generator (tools/dcd_fuzz), promoted here so every build replays
+/// them deterministically across all strategies and worker counts. The
+/// seeds were picked for family coverage: min/max/count aggregates,
+/// negation, non-linear recursion, mutual recursion, weighted arcs, and an
+/// empty EDB (seed 28).
+class GeneratedCorpus : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedCorpus, AllConfigsMatchReference) {
+  testing_gen::GenOptions gen;
+  gen.seed = GetParam();
+  const testing_gen::FuzzCase c = testing_gen::GenerateCase(gen);
+  // The oracle is configuration-independent: compute once, diff nine runs.
+  testing_gen::OracleRows oracle;
+  const auto ref = testing_gen::ComputeOracle(c, /*max_rounds=*/100000,
+                                              &oracle);
+  ASSERT_EQ(ref.kind, testing_gen::OutcomeKind::kAgree)
+      << ref.detail << "\n" << c.ToString();
+  for (CoordinationMode mode :
+       {CoordinationMode::kGlobal, CoordinationMode::kSsp,
+        CoordinationMode::kDws}) {
+    for (uint32_t workers : {1u, 2u, 4u}) {
+      testing_gen::RunConfig config;
+      config.mode = mode;
+      config.num_workers = workers;
+      const auto outcome = testing_gen::RunEngineOnce(c, config, oracle);
+      EXPECT_EQ(outcome.kind, testing_gen::OutcomeKind::kAgree)
+          << CoordinationModeName(mode) << " w" << workers << ": "
+          << outcome.detail << "\n" << c.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GeneratedCorpus,
+                         ::testing::Values(1, 2, 4, 6, 9, 19, 22, 28, 31, 34,
+                                           42, 50));
 
 }  // namespace
 }  // namespace dcdatalog

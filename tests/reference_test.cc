@@ -149,6 +149,30 @@ TEST_F(ReferenceTest, NonTerminatingProgramHitsRoundLimit) {
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST_F(ReferenceTest, RoundLimitBoundaryOnTerminatingProgram) {
+  // A terminating program must succeed when max_rounds is generous and
+  // return a clean kResourceExhausted — not crash or hang — when the cap
+  // cuts the fixpoint short. Chain 0→…→6 needs several rounds of closure.
+  Relation arc("arc", Schema::Ints(2));
+  for (uint64_t i = 0; i < 6; ++i) arc.Append({i, i + 1});
+  catalog_.Put(std::move(arc));
+  auto p = ParseProgram(
+      "tc(X, Y) :- arc(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), arc(Z, Y).",
+      &dict_);
+  ASSERT_TRUE(p.ok());
+  program_ = std::move(p).value();
+
+  auto ok = ReferenceEvaluate(program_, catalog_, 1e-9, /*max_rounds=*/100);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().at("tc").size(), 21u);  // 6+5+4+3+2+1 pairs.
+
+  auto cut = ReferenceEvaluate(program_, catalog_, 1e-9, /*max_rounds=*/2);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(cut.status().ToString().empty());
+}
+
 TEST_F(ReferenceTest, StratifiedNegationByHand) {
   Relation arc("arc", Schema::Ints(2));
   arc.Append({1, 2});
