@@ -5,8 +5,25 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace dcdatalog {
 namespace {
+
+/// Serializes line emission so concurrent workers' messages never
+/// interleave mid-line, and guards the redirectable sink pointer. The
+/// level check in DCD_LOG happens before any of this — disabled messages
+/// cost one relaxed atomic load and never touch the lock.
+Mutex g_sink_mu;
+std::FILE* g_sink DCD_GUARDED_BY(g_sink_mu) = nullptr;  // nullptr = stderr.
+
+void EmitLine(const std::string& line) DCD_EXCLUDES(g_sink_mu) {
+  MutexLock lock(&g_sink_mu);
+  std::FILE* out = g_sink != nullptr ? g_sink : stderr;
+  std::fputs(line.c_str(), out);
+  std::fflush(out);
+}
 
 LogLevel LevelFromEnv() {
   const char* env = std::getenv("DCD_LOG_LEVEL");
@@ -49,6 +66,11 @@ void SetLogLevel(LogLevel level) {
   LevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+void SetLogStream(std::FILE* stream) {
+  MutexLock lock(&g_sink_mu);
+  g_sink = stream;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -61,8 +83,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fflush(stderr);
+  // The sink lock is released before the fatal abort so the death message
+  // is fully flushed and no lock is held at process exit.
+  EmitLine(stream_.str());
   if (level_ == LogLevel::kFatal) std::abort();
 }
 

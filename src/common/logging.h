@@ -2,6 +2,7 @@
 #define DCDATALOG_COMMON_LOGGING_H_
 
 #include <cassert>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,12 @@ enum class LogLevel : int {
 /// (values: debug, info, warning, error).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Redirects log output (default: stderr). Pass nullptr to restore stderr.
+/// The stream is borrowed, not owned, and must stay valid while installed.
+/// Internally synchronized with line emission, so it is safe to swap while
+/// other threads log — each line goes wholly to the old or the new sink.
+void SetLogStream(std::FILE* stream);
 
 namespace internal {
 

@@ -1,0 +1,50 @@
+#ifndef DCDATALOG_COMMON_MUTEX_H_
+#define DCDATALOG_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dcdatalog {
+
+/// std::mutex wrapped as a TSA capability so clang's `-Wthread-safety` can
+/// check the lock discipline (libstdc++'s std::mutex carries no capability
+/// attributes, so annotating it directly does nothing). All lock-guarded
+/// structures in the engine use this type; the lint suite rejects bare
+/// std::mutex outside this file.
+///
+/// Locks exist only on the cold paths — loading, planning, logging, result
+/// materialization. The evaluation hot paths (strategy loops, Distribute,
+/// Gather, ring push/pop) are lock-free by design and tools/lint enforces
+/// that no Mutex ever appears in them.
+class DCD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DCD_ACQUIRE() { mu_.lock(); }
+  void Unlock() DCD_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated so the analysis tracks the critical
+/// section's extent. Prefer this over manual Lock/Unlock pairs.
+class DCD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DCD_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DCD_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_MUTEX_H_

@@ -7,7 +7,7 @@
 namespace dcdatalog {
 
 uint64_t StringDict::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(std::string(s));
   if (it != index_.end()) return it->second;
   uint64_t id = strings_.size();
@@ -17,19 +17,19 @@ uint64_t StringDict::Intern(std::string_view s) {
 }
 
 std::string StringDict::Get(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DCD_CHECK(id < strings_.size());
   return strings_[id];
 }
 
 uint64_t StringDict::Find(std::string_view s) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = index_.find(std::string(s));
   return it == index_.end() ? UINT64_MAX : it->second;
 }
 
 size_t StringDict::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return strings_.size();
 }
 

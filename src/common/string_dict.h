@@ -2,11 +2,13 @@
 #define DCDATALOG_COMMON_STRING_DICT_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dcdatalog {
 
@@ -14,11 +16,10 @@ namespace dcdatalog {
 /// happens at load/parse time (possibly from several threads); lookups of
 /// already-interned ids are wait-free reads after loading completes.
 ///
-/// Thread safety: Intern() is internally synchronized. Get() is safe
-/// concurrently with Intern() because ids_ grows through a std::deque-like
-/// chunked vector that never invalidates earlier entries — we use
-/// std::vector<std::string> guarded by the same mutex for simplicity, and
-/// Get() takes the lock too; the evaluator hot path never calls Get().
+/// Thread safety: every method is internally synchronized on mu_, and the
+/// capability annotations let clang verify that no path touches index_ or
+/// strings_ without the lock. The evaluator hot path never calls into the
+/// dictionary — wire tuples carry interned ids only.
 class StringDict {
  public:
   StringDict() = default;
@@ -27,20 +28,20 @@ class StringDict {
   StringDict& operator=(const StringDict&) = delete;
 
   /// Returns the id for `s`, inserting it if new.
-  uint64_t Intern(std::string_view s);
+  uint64_t Intern(std::string_view s) DCD_EXCLUDES(mu_);
 
   /// Returns the string for `id`. id must have been returned by Intern().
-  std::string Get(uint64_t id) const;
+  std::string Get(uint64_t id) const DCD_EXCLUDES(mu_);
 
   /// Returns the id for `s` if present, or UINT64_MAX.
-  uint64_t Find(std::string_view s) const;
+  uint64_t Find(std::string_view s) const DCD_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const DCD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> index_;
-  std::vector<std::string> strings_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, uint64_t> index_ DCD_GUARDED_BY(mu_);
+  std::vector<std::string> strings_ DCD_GUARDED_BY(mu_);
 };
 
 }  // namespace dcdatalog

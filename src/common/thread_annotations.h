@@ -1,0 +1,69 @@
+#ifndef DCDATALOG_COMMON_THREAD_ANNOTATIONS_H_
+#define DCDATALOG_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis (TSA) attribute shims. Under clang these
+/// expand to the capability attributes that `-Wthread-safety` checks at
+/// compile time; under GCC (and any compiler without the attributes) they
+/// expand to nothing, so the annotated tree builds everywhere while the CI
+/// clang job enforces the lock discipline with `-Wthread-safety -Werror`.
+///
+/// The annotations encode the locking rules docs/INTERNALS.md §7 lists:
+/// which data a mutex guards (DCD_GUARDED_BY), which functions take or
+/// require a lock (DCD_ACQUIRE / DCD_REQUIRES), and which must be called
+/// without it (DCD_EXCLUDES). They are declarations of intent checked by
+/// the compiler — not runtime machinery; the generated code is identical
+/// with or without them.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DCD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#if !defined(DCD_THREAD_ANNOTATION)
+#define DCD_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define DCD_CAPABILITY(x) DCD_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (our MutexLock).
+#define DCD_SCOPED_CAPABILITY DCD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define DCD_GUARDED_BY(x) DCD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define DCD_PT_GUARDED_BY(x) DCD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and holds it on return.
+#define DCD_ACQUIRE(...) \
+  DCD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability; the caller must hold it on entry.
+#define DCD_RELEASE(...) \
+  DCD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function may only be called while already holding the capability.
+#define DCD_REQUIRES(...) \
+  DCD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while NOT holding the capability (it will
+/// acquire it itself); catches self-deadlock.
+#define DCD_EXCLUDES(...) DCD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define DCD_RETURN_CAPABILITY(x) DCD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must
+/// carry a justification comment (enforced by tools/lint).
+#define DCD_NO_THREAD_SAFETY_ANALYSIS \
+  DCD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Runtime assertion that the calling thread holds the capability; teaches
+/// the analysis about externally-established locking.
+#define DCD_ASSERT_CAPABILITY(x) \
+  DCD_THREAD_ANNOTATION(assert_capability(x))
+
+#endif  // DCDATALOG_COMMON_THREAD_ANNOTATIONS_H_

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/chaos.h"
 #include "common/logging.h"
 
@@ -35,6 +36,9 @@ class SpscQueue {
 
   /// Producer side. Returns false if the ring is full.
   bool TryPush(const T& item) {
+    // Debug ownership check: the first pushing thread becomes THE producer;
+    // any other thread pushing afterwards dies deterministically.
+    DCD_AFFINITY_GUARD(producer_affinity_);
     // Fuzzing hook: a chaos schedule may force a spurious "full" here,
     // driving the producer through its backpressure path (no-op in
     // release builds and whenever no schedule is installed).
@@ -54,6 +58,7 @@ class SpscQueue {
 
   /// Consumer side. Returns false if the ring is empty.
   bool TryPop(T* out) {
+    DCD_AFFINITY_GUARD(consumer_affinity_);
     DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
@@ -69,6 +74,7 @@ class SpscQueue {
   /// the number popped. Batch draining is what Gather does once per local
   /// iteration.
   uint64_t PopBatch(std::vector<T>* out, uint64_t max = UINT64_MAX) {
+    DCD_AFFINITY_GUARD(consumer_affinity_);
     DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_cache_;
@@ -108,6 +114,10 @@ class SpscQueue {
   // Consumer-owned line: head plus its cached view of tail.
   alignas(kCacheLine) std::atomic<uint64_t> head_{0};
   uint64_t tail_cache_ = 0;
+
+  // Debug-only owner stamps for the two endpoint roles (empty in release).
+  DCD_AFFINITY_OWNER(producer_affinity_, "spsc-producer");
+  DCD_AFFINITY_OWNER(consumer_affinity_, "spsc-consumer");
 };
 
 }  // namespace dcdatalog

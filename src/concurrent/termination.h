@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/chaos.h"
 
 namespace dcdatalog {
@@ -36,8 +37,14 @@ class TerminationDetector {
  public:
   explicit TerminationDetector(uint32_t num_workers)
       : consumed_(num_workers), active_(num_workers) {
-    for (auto& counter : consumed_) counter.v.store(0);
-    for (auto& flag : active_) flag.v.store(true);
+    // Relaxed: single-threaded construction; RunWorkers' thread creation
+    // publishes the detector to the workers.
+    for (auto& counter : consumed_) {
+      counter.v.store(0, std::memory_order_relaxed);
+    }
+    for (auto& flag : active_) {
+      flag.v.store(true, std::memory_order_relaxed);
+    }
   }
 
   void AddProduced(uint64_t n) {
@@ -45,6 +52,10 @@ class TerminationDetector {
   }
 
   void AddConsumed(uint32_t worker, uint64_t n) {
+    // Debug ownership check: the counter protocol is sound only if worker
+    // w's consumed count is written by w's thread alone (consumed_total()
+    // may read from anywhere).
+    DCD_AFFINITY_GUARD(consumed_[worker].affinity);
     consumed_[worker].v.fetch_add(n, std::memory_order_acq_rel);
   }
 
@@ -106,6 +117,9 @@ class TerminationDetector {
   // false sharing between workers that touch them every iteration.
   struct alignas(64) PaddedCounter {
     std::atomic<uint64_t> v;
+    // Debug-only single-writer stamp for this worker's consumed count
+    // (empty in release).
+    DCD_AFFINITY_OWNER(affinity, "termination-consumer");
   };
   struct alignas(64) PaddedFlag {
     std::atomic<bool> v;

@@ -1,10 +1,43 @@
 #include "concurrent/worker_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/chaos.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dcdatalog {
+namespace {
+
+/// The pool's only shared control state: the first exception any worker
+/// threw. Lock-guarded (and TSA-annotated) rather than atomic — it is
+/// touched at most once per evaluation, never on the per-iteration paths.
+class ErrorSlot {
+ public:
+  void Capture(std::exception_ptr error) DCD_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (first_ == nullptr) first_ = std::move(error);
+  }
+
+  /// Rethrows the captured exception, if any. Call after every worker
+  /// joined — no lock is needed then, but taking it keeps the invariant
+  /// checkable rather than argued.
+  void RethrowIfSet() DCD_EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      MutexLock lock(&mu_);
+      error = first_;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr first_ DCD_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 void RunWorkers(uint32_t num_workers,
                 const std::function<void(uint32_t)>& fn) {
@@ -12,17 +45,23 @@ void RunWorkers(uint32_t num_workers,
     fn(0);
     return;
   }
+  ErrorSlot errors;
   std::vector<std::thread> threads;
   threads.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    threads.emplace_back([&fn, w] {
+    threads.emplace_back([&fn, &errors, w] {
       // Fuzzing hook: staggers worker start-up so the base phase does not
       // always begin in lockstep.
       DCD_CHAOS_POINT(kWorkerStart);
-      fn(w);
+      try {
+        fn(w);
+      } catch (...) {
+        errors.Capture(std::current_exception());
+      }
     });
   }
   for (auto& t : threads) t.join();
+  errors.RethrowIfSet();
 }
 
 void ParallelFor(uint32_t num_workers, uint64_t n,

@@ -12,6 +12,11 @@ namespace dcdatalog {
 /// The parallel evaluation of one Datalog program is a single such run —
 /// workers live for the whole fixpoint computation, so thread start-up cost
 /// is negligible and a persistent pool would only add complexity.
+///
+/// If a worker throws, the first exception is captured in the pool's
+/// mutex-guarded control state and rethrown on the calling thread after all
+/// workers joined (instead of std::terminate tearing the process down from
+/// inside a worker thread). Later exceptions are dropped.
 void RunWorkers(uint32_t num_workers,
                 const std::function<void(uint32_t)>& fn);
 

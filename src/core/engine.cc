@@ -77,7 +77,9 @@ class SccExecutor {
 
   Status Run(EvalStats* stats) {
     RunWorkers(n_, [this](uint32_t wid) { WorkerMain(wid); });
-    if (aborted_.load()) {
+    // Relaxed: RunWorkers joined every worker, which already orders their
+    // writes before this read.
+    if (aborted_.load(std::memory_order_relaxed)) {
       return Status::ResourceExhausted(
           "evaluation exceeded max_global_iterations (" +
           std::to_string(options_.max_global_iterations) + ")");
@@ -244,6 +246,7 @@ class SccExecutor {
     pctx.regs = ctx->regs.data();
 
     for (const PhysicalRule& rule : scc_.base_rules) {
+      PreparePipeline(rule, &pctx);
       const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
         uint64_t wire[kMaxWireWords];
         BuildWireTuple(rule.head, regs, wire);
@@ -345,6 +348,7 @@ class SccExecutor {
     for (const PhysicalRule& rule : scc_.delta_rules) {
       const auto& snapshot = snapshots[rule.driving_replica];
       if (snapshot.empty()) continue;
+      PreparePipeline(rule, &pctx);
       const uint32_t arity =
           (*ctx->replicas)[rule.driving_replica]->stored_arity();
       const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
@@ -497,6 +501,10 @@ class SccExecutor {
                !Aborted()) {
           const int64_t waited = MonotonicNanos() - wait_start;
           if (waited >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
+          // The τ-capped sleep IS DWS's coordination mechanism, not
+          // incidental blocking — the strategy trades a bounded wait for a
+          // bigger batch.
+          // dcd-lint: allow(hot-path-mutex): DWS bounded wait, Algorithm 2 line 7
           std::this_thread::sleep_for(std::chrono::microseconds(
               options_.dws_max_wait_slice_us));
           GatherAll(ctx);

@@ -113,6 +113,7 @@ void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
 }
 
 void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
+  DCD_AFFINITY_GUARD(owner_affinity_);
   ++tuples_emitted_;
   PerPredicate& pp = StateFor(head);
   const AggSpec& spec = head.agg;
@@ -138,6 +139,7 @@ void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
 }
 
 void Distributor::Flush() {
+  DCD_AFFINITY_GUARD(owner_affinity_);
   for (PerPredicate& pp : per_pred_) {
     if (pp.head == nullptr || pp.partial.empty()) continue;
     for (const auto& [group, buf] : pp.partial) {

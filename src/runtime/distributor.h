@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/chaos.h"
 #include "common/hash.h"
 #include "planner/physical_plan.h"
@@ -101,6 +102,9 @@ class Distributor {
   uint64_t tuples_emitted_ = 0;
   uint64_t blocks_sent_ = 0;
   uint64_t self_loop_tuples_ = 0;
+  // Debug-only owner stamp covering the staging blocks and partial-agg
+  // buffers: only the emitting worker may Emit/Flush (empty in release).
+  DCD_AFFINITY_OWNER(owner_affinity_, "distributor-staging");
 #if DCD_CHAOS_ENABLED
   /// Per-worker routing counter for the DCD_INJECT_BUG=distributor_offbyone
   /// fault (see distributor.cc). A member, not a static: distributors are

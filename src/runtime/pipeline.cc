@@ -55,7 +55,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       return;
     }
     case StepKind::kScanBase: {
-      const Relation* rel = ctx.catalog->Find(step.relation);
+      const Relation* rel = ctx.scan_rels[step_idx];
       DCD_CHECK(rel != nullptr);
       const uint64_t n = rel->size();
       for (uint64_t r = 0; r < n; ++r) {
@@ -85,7 +85,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       return;
     }
     case StepKind::kAntiJoinScan: {
-      const Relation* rel = ctx.catalog->Find(step.relation);
+      const Relation* rel = ctx.scan_rels[step_idx];
       DCD_CHECK(rel != nullptr);
       const uint64_t n = rel->size();
       bool found = false;
@@ -117,6 +117,30 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
 }
 
 }  // namespace
+
+void PreparePipeline(const PhysicalRule& rule, PipelineContext* ctx) {
+  ctx->scan_rels.clear();
+  bool any = false;
+  for (const Step& step : rule.steps) {
+    if (step.kind == StepKind::kScanBase ||
+        step.kind == StepKind::kAntiJoinScan) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;  // Keep the common index-join case allocation-free.
+  ctx->scan_rels.resize(rule.steps.size(), nullptr);
+  for (size_t i = 0; i < rule.steps.size(); ++i) {
+    const Step& step = rule.steps[i];
+    if (step.kind != StepKind::kScanBase &&
+        step.kind != StepKind::kAntiJoinScan) {
+      continue;
+    }
+    const Relation* rel = ctx->catalog->Find(step.relation);
+    DCD_CHECK(rel != nullptr);
+    ctx->scan_rels[i] = rel;
+  }
+}
 
 void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
                          TupleRef driving, const EmitFn& emit) {

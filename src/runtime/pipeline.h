@@ -21,7 +21,17 @@ struct PipelineContext {
   const std::vector<std::unique_ptr<RecursiveTable>>* replicas = nullptr;
   /// Register scratch, at least PhysicalRule::num_regs wide.
   uint64_t* regs = nullptr;
+  /// Scan relations resolved once per rule by PreparePipeline, indexed by
+  /// step. The catalog registry is lock-guarded, so per-tuple Find calls
+  /// from the pipeline would put a mutex on the hot path (and trip the
+  /// tools/lint hot-path rule); steps read this cache instead.
+  std::vector<const Relation*> scan_rels;
 };
+
+/// Resolves `rule`'s kScanBase / kAntiJoinScan relations from the catalog
+/// into ctx->scan_rels. Must run once before executing the rule's pipeline
+/// with this context; rules without scan steps clear the cache cheaply.
+void PreparePipeline(const PhysicalRule& rule, PipelineContext* ctx);
 
 /// Emission callback: registers are loaded; the callee evaluates the head's
 /// wire expressions and routes the tuple.

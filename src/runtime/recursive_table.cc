@@ -219,6 +219,7 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
 }
 
 bool RecursiveTable::MergeWire(const uint64_t* wire) {
+  DCD_AFFINITY_GUARD(writer_affinity_);
   ++merges_;
   switch (spec_.func) {
     case AggFunc::kNone:
@@ -292,6 +293,7 @@ void RecursiveTable::MergeMinMaxBatchByScan(
 }
 
 void RecursiveTable::MergeBatch(const std::vector<TupleBuf>& wires) {
+  DCD_AFFINITY_GUARD(writer_affinity_);
   if (wires.empty()) return;
   if (spec_.func == AggFunc::kNone) {
     // Plain dedup: every accept is a distinct new row, no amplification.

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/affinity.h"
 #include "common/options.h"
 #include "planner/physical_plan.h"
 #include "storage/btree.h"
@@ -49,12 +50,16 @@ class RecursiveTable {
   // --- Delta (δR_i) ---
   const std::vector<TupleBuf>& delta() const { return delta_; }
   uint64_t delta_size() const { return delta_.size(); }
-  void ClearDelta() { delta_.clear(); }
+  void ClearDelta() {
+    DCD_AFFINITY_GUARD(writer_affinity_);
+    delta_.clear();
+  }
 
   /// Moves the current delta out and leaves an empty one. The worker
   /// iterates the snapshot while backpressure-driven gathers may grow the
   /// fresh delta concurrently (same thread, interleaved calls).
   std::vector<TupleBuf> TakeDelta() {
+    DCD_AFFINITY_GUARD(writer_affinity_);
     std::vector<TupleBuf> out = std::move(delta_);
     delta_.clear();
     return out;
@@ -138,6 +143,12 @@ class RecursiveTable {
   // Batch-mode delta deduplication (see PushDelta).
   bool batch_mode_ = false;
   std::vector<uint64_t> batch_changed_rows_;
+
+  // Debug-only single-writer stamp: the owning worker's thread claims the
+  // partition on its first mutation; any foreign write dies (empty in
+  // release). Reads (rows(), stats) stay unguarded — MaterializeResults
+  // legitimately reads all partitions after the workers joined.
+  DCD_AFFINITY_OWNER(writer_affinity_, "recursive-table-writer");
 
   uint64_t merges_ = 0;
   uint64_t accepts_ = 0;

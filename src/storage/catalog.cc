@@ -3,6 +3,7 @@
 namespace dcdatalog {
 
 Result<Relation*> Catalog::Create(const std::string& name, Schema schema) {
+  MutexLock lock(&mu_);
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation already exists: " + name);
   }
@@ -16,21 +17,25 @@ Relation* Catalog::Put(Relation relation) {
   std::string name = relation.name();
   auto rel = std::make_unique<Relation>(std::move(relation));
   Relation* ptr = rel.get();
+  MutexLock lock(&mu_);
   relations_[name] = std::move(rel);
   return ptr;
 }
 
 Relation* Catalog::Find(const std::string& name) {
+  MutexLock lock(&mu_);
   auto it = relations_.find(name);
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
 const Relation* Catalog::Find(const std::string& name) const {
+  MutexLock lock(&mu_);
   auto it = relations_.find(name);
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> Catalog::Names() const {
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) names.push_back(name);

@@ -6,15 +6,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/relation.h"
 
 namespace dcdatalog {
 
 /// Name → Relation registry for the extensional database (EDB). The engine
 /// reads base relations from here and writes derived (IDB) results back
-/// after evaluation. Not synchronized: populated before evaluation, read
-/// during, written after.
+/// after evaluation.
+///
+/// Thread safety: the registry map is internally synchronized, so loaders
+/// may Create/Put concurrently and an SCC's MaterializeResults may Put
+/// while another thread Finds. The Relation objects handed out are NOT
+/// synchronized — the engine's contract is unchanged: a relation's rows
+/// are frozen before any evaluation reads them. Hot paths never take the
+/// registry lock: pipelines resolve their scan relations once per rule
+/// (PreparePipeline), not per tuple.
 class Catalog {
  public:
   Catalog() = default;
@@ -23,23 +32,26 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Creates an empty relation; error if the name exists.
-  Result<Relation*> Create(const std::string& name, Schema schema);
+  Result<Relation*> Create(const std::string& name, Schema schema)
+      DCD_EXCLUDES(mu_);
 
   /// Registers a fully built relation, replacing any previous one.
-  Relation* Put(Relation relation);
+  Relation* Put(Relation relation) DCD_EXCLUDES(mu_);
 
   /// nullptr when absent.
-  Relation* Find(const std::string& name);
-  const Relation* Find(const std::string& name) const;
+  Relation* Find(const std::string& name) DCD_EXCLUDES(mu_);
+  const Relation* Find(const std::string& name) const DCD_EXCLUDES(mu_);
 
   bool Contains(const std::string& name) const {
     return Find(name) != nullptr;
   }
 
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const DCD_EXCLUDES(mu_);
 
  private:
-  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_
+      DCD_GUARDED_BY(mu_);
 };
 
 }  // namespace dcdatalog

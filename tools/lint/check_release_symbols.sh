@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Verifies the debug-only ownership checker compiles to nothing in release
+# builds: no ThreadAffinity symbol may survive in any object file of an
+# NDEBUG build. Run with the build directory as $1 (default: build).
+#
+#   tools/lint/check_release_symbols.sh build-release
+#
+# Exits 0 when clean, 1 when a symbol leaked, 2 on usage errors.
+set -eu
+
+BUILD_DIR="${1:-build}"
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "check_release_symbols: build dir '$BUILD_DIR' not found" >&2
+  exit 2
+fi
+
+NM="${NM:-nm}"
+if ! command -v "$NM" >/dev/null 2>&1; then
+  echo "check_release_symbols: nm not found; skipping" >&2
+  exit 0
+fi
+
+objects=$(find "$BUILD_DIR" -name '*.o' \
+  \( -path '*src*' -o -path '*dcd_*' \) 2>/dev/null || true)
+if [ -z "$objects" ]; then
+  echo "check_release_symbols: no object files under '$BUILD_DIR'" >&2
+  exit 2
+fi
+
+leaked=0
+checked=0
+for obj in $objects; do
+  checked=$((checked + 1))
+  # Defined or undefined references both count: release TUs must not even
+  # reference the checker.
+  if "$NM" "$obj" 2>/dev/null | grep -q 'ThreadAffinity'; then
+    echo "check_release_symbols: ThreadAffinity symbol in $obj:" >&2
+    "$NM" -C "$obj" | grep 'ThreadAffinity' >&2
+    leaked=1
+  fi
+done
+
+if [ "$leaked" -ne 0 ]; then
+  echo "check_release_symbols: FAILED — the affinity checker must compile" \
+       "to nothing under NDEBUG (see src/common/affinity.h)" >&2
+  exit 1
+fi
+echo "check_release_symbols: OK ($checked objects, no ThreadAffinity symbols)"
