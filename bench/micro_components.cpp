@@ -14,9 +14,13 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/histogram.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "concurrent/spsc_queue.h"
 #include "concurrent/termination.h"
+#include "core/dcdatalog.h"
+#include "graph/generators.h"
 #include "runtime/distributor.h"
 #include "runtime/recursive_table.h"
 #include "storage/btree.h"
@@ -383,6 +387,89 @@ void BM_DistributeGatherBlocked(benchmark::State& state) {
 BENCHMARK(BM_DistributeGatherBlocked)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Trace-ring / metrics overhead ---------------------------------------
+//
+// The observability layer must be invisible when tracing is off. Three
+// levels of proof: (1) Append behind a disabled ring is one predictable
+// branch (compare *_Disabled against *_Enabled); (2) a LogHistogram::Add is
+// counter-cheap, which is why the histograms stay on unconditionally; and
+// (3) the engine-level pair runs the same TC evaluation with tracing off vs
+// on — the off case is the configuration every benchmark and production run
+// uses, and its delta against pre-trace-ring builds must stay at noise
+// level (the hot loops gained only `if (!ring.enabled()) return` guards).
+
+void BM_TraceRingAppendDisabled(benchmark::State& state) {
+  TraceRing ring;  // Capacity 0: the trace-off configuration.
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kDrain;
+  for (auto _ : state) {
+    ring.Append(ev);
+    benchmark::DoNotOptimize(ring);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingAppendDisabled);
+
+void BM_TraceRingAppendEnabled(benchmark::State& state) {
+  TraceRing ring(1 << 14);
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kIteration;
+  ev.start_ns = 1;
+  ev.end_ns = 2;
+  for (auto _ : state) {
+    ring.Append(ev);
+    benchmark::DoNotOptimize(ring);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRingAppendEnabled);
+
+void BM_LogHistogramAdd(benchmark::State& state) {
+  LogHistogram h;
+  uint64_t v = 12345;
+  for (auto _ : state) {
+    h.Add(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // Cheap LCG step.
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogHistogramAdd);
+
+void EngineTraceBench(benchmark::State& state, bool trace) {
+  EngineOptions opts;
+  opts.num_workers = 4;
+  opts.coordination = CoordinationMode::kDws;
+  opts.enable_trace = trace;
+  const Graph g = GenerateGnp(300, 0.01, 17);
+  for (auto _ : state) {
+    DCDatalog db(opts);
+    db.AddGraph(g, "arc");
+    if (!db.LoadProgramText("tc(X, Y) :- arc(X, Y).\n"
+                            "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n")
+             .ok()) {
+      state.SkipWithError("program load failed");
+      return;
+    }
+    auto stats = db.Run();
+    if (!stats.ok()) {
+      state.SkipWithError("engine run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(stats.value().tuples_routed);
+  }
+}
+
+void BM_EngineTcTraceOff(benchmark::State& state) {
+  EngineTraceBench(state, false);
+}
+BENCHMARK(BM_EngineTcTraceOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EngineTcTraceOn(benchmark::State& state) {
+  EngineTraceBench(state, true);
+}
+BENCHMARK(BM_EngineTcTraceOn)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 AggSpec MinSpec() {
   AggSpec s;

@@ -1,0 +1,86 @@
+#ifndef DCDATALOG_COMMON_HISTOGRAM_H_
+#define DCDATALOG_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace dcdatalog {
+
+/// Fixed-size log-bucket histogram for hot-path measurements (iteration
+/// latency, drain batch sizes). Bucket b counts values whose bit width is b:
+/// bucket 0 holds value 0, bucket b (b >= 1) holds [2^(b-1), 2^b). Add() is
+/// a clz + one array increment — no allocation, no branches beyond the
+/// zero check — cheap enough to stay enabled on every run, trace or not.
+///
+/// Not synchronized: one instance per worker, merged after the join.
+class LogHistogram {
+ public:
+  static constexpr uint32_t kBuckets = 65;  // 0 plus one per bit of uint64_t.
+
+  void Add(uint64_t value) {
+    buckets_[BucketOf(value)] += 1;
+    total_ += value;
+    if (value > max_) max_ = value;
+    ++count_;
+  }
+
+  /// Bucket index for `value` (0 for 0, else bit width).
+  static uint32_t BucketOf(uint64_t value) {
+    return value == 0 ? 0 : 64 - static_cast<uint32_t>(__builtin_clzll(value));
+  }
+
+  /// Smallest value the bucket admits (its inclusive lower bound).
+  static uint64_t BucketLowerBound(uint32_t bucket) {
+    return bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t total() const { return total_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket(uint32_t b) const { return buckets_[b]; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(total_) /
+                             static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]) — a
+  /// factor-of-2 estimate, which is what a log histogram buys.
+  uint64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen > rank) {
+        return b == 0 ? 0 : (uint64_t{1} << b) - 1;  // Bucket upper bound.
+      }
+    }
+    return max_;
+  }
+
+  void Merge(const LogHistogram& other) {
+    for (uint32_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    total_ += other.total_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void Reset() {
+    buckets_.fill(0);
+    count_ = 0;
+    total_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_HISTOGRAM_H_

@@ -36,7 +36,8 @@ std::string EngineOptions::ToString() const {
      << ", ssp_slack=" << ssp_slack << ", dws_timeout_us=" << dws_timeout_us
      << ", spsc_capacity=" << spsc_capacity
      << ", agg_index=" << (enable_aggregate_index ? "on" : "off")
-     << ", exist_cache=" << (enable_existence_cache ? "on" : "off") << "}";
+     << ", exist_cache=" << (enable_existence_cache ? "on" : "off")
+     << ", trace=" << (enable_trace ? "on" : "off") << "}";
   return os.str();
 }
 

@@ -61,10 +61,18 @@ struct EngineOptions {
   /// re-enter the delta.
   double sum_epsilon = 1e-9;
 
-  /// Record per-worker execution trace events (iteration/idle spans) into
-  /// EvalStats::trace. Adds overhead; meant for visualization and debugging
-  /// (see examples/coordination_walkthrough).
+  /// Record per-worker execution trace events (iteration/wait spans, drain
+  /// and block-push instants, DWS decision telemetry) into per-worker trace
+  /// rings, surfaced as EvalStats::trace and exportable as Chrome
+  /// trace-event JSON (core/trace_export.h). Off: the rings are not even
+  /// allocated and each would-be event costs one predictable branch.
   bool enable_trace = false;
+
+  /// Per-worker trace ring capacity in events, rounded up to a power of
+  /// two. The ring overwrites oldest on overflow (EvalStats::trace_dropped
+  /// counts the loss), so a long run keeps its most recent window instead
+  /// of growing without bound.
+  uint32_t trace_ring_capacity = 1 << 14;
 
   /// Validated copy with num_workers resolved to a concrete count.
   EngineOptions Resolved() const;

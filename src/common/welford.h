@@ -34,9 +34,12 @@ class Welford {
 
   /// Exponential decay toward fresh behaviour: halves the effective sample
   /// count so older iterations stop dominating the estimates. Mean and
-  /// variance are preserved.
+  /// variance are preserved. Rounds up so a non-empty accumulator never
+  /// decays to empty — integer halving would turn a count of 1 into 0, and
+  /// DwsController::Update treats count() == 0 as "no estimate at all",
+  /// silently discarding the mean the accumulator still holds.
   void Decay() {
-    count_ /= 2;
+    count_ = (count_ + 1) / 2;
     m2_ /= 2.0;
   }
 

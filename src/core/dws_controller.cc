@@ -4,15 +4,6 @@
 #include <cmath>
 
 namespace dcdatalog {
-namespace {
-
-/// Keep the queueing model numerically sane: utilization is clamped below
-/// 1 (an overloaded queue has unbounded L_q; the timeout handles that
-/// regime), and ω is capped so a worker never waits for millions of tuples.
-constexpr double kMaxRho = 0.95;
-constexpr double kMaxOmega = 1 << 20;
-
-}  // namespace
 
 DwsController::DwsController(uint32_t num_sources,
                              const EngineOptions& options)
@@ -43,6 +34,7 @@ void DwsController::OnIteration(int64_t duration_ns, uint64_t tuples) {
 void DwsController::Update(const std::vector<uint64_t>& buffer_sizes) {
   omega_ = 0.0;
   tau_ns_ = 0;
+  overloaded_ = false;
   if (service_.count() == 0) return;  // No service estimate yet: don't wait.
 
   // Equation (1): weight each source by its buffer occupancy |M_i^j|;
@@ -74,18 +66,32 @@ void DwsController::Update(const std::vector<uint64_t>& buffer_sizes) {
   mu_ = 1.0 / inv_mu;
   const double sigma_s2 = service_.variance();
 
-  // Kingman's formula, Equation (2).
-  rho_ = std::min(lambda_ / mu_, kMaxRho);
+  rho_ = lambda_ / mu_;
+  const int64_t budget_ns =
+      static_cast<int64_t>(options_.dws_timeout_us) * 1000;
+  overloaded_ = rho_ >= kMaxRho;
+  if (overloaded_) {
+    // Overloaded regime (lambda >= mu up to the guard band): the queue has
+    // no steady state and Kingman's L_q diverges, so evaluating Equation
+    // (2) here would report a finite-but-bogus queue length. Saturate
+    // deliberately instead: wait for as large a batch as the
+    // deadlock-avoidance timeout permits. rho_ keeps the true, unclamped
+    // utilization so telemetry shows the overload rather than hiding it
+    // at 0.95.
+    omega_ = kMaxOmega;
+    tau_ns_ = budget_ns;
+    return;
+  }
+
+  // Kingman's formula, Equation (2) — valid only below saturation.
   const double ca2 = lambda_ * lambda_ * sigma_a2;
   const double cs2 = mu_ * mu_ * sigma_s2;
   const double lq = rho_ * rho_ * (ca2 + cs2) / (2.0 * (1.0 - rho_));
 
   omega_ = std::clamp(lq, 0.0, kMaxOmega);
   const double tau_s = omega_ * inv_lambda;  // L_q / λ
-  const int64_t timeout_ns =
-      static_cast<int64_t>(options_.dws_timeout_us) * 1000;
   tau_ns_ = std::clamp<int64_t>(static_cast<int64_t>(tau_s * 1e9), 0,
-                                timeout_ns);
+                                budget_ns);
 }
 
 }  // namespace dcdatalog

@@ -22,6 +22,15 @@ namespace dcdatalog {
 /// are derived, exactly as §4.2 prescribes.
 class DwsController {
  public:
+  /// Utilizations at or above this are the overloaded regime: Kingman's
+  /// L_q diverges as rho -> 1, so instead of clamping rho and evaluating
+  /// the formula outside its domain, Update saturates omega/tau
+  /// deliberately (see overloaded()).
+  static constexpr double kMaxRho = 0.95;
+  /// Cap on omega — and the value it saturates to under overload — so a
+  /// worker never waits for millions of tuples.
+  static constexpr double kMaxOmega = 1 << 20;
+
   DwsController(uint32_t num_sources, const EngineOptions& options);
 
   /// Records a drain of `n` tuples from source `j` at monotonic time
@@ -44,10 +53,18 @@ class DwsController {
   /// timeout).
   int64_t tau_ns() const { return tau_ns_; }
 
-  // Introspection for tests.
+  // Introspection for tests and decision telemetry.
   double lambda() const { return lambda_; }
   double mu() const { return mu_; }
   double rho() const { return rho_; }
+
+  /// True when the last Update saw lambda >= kMaxRho * mu. In that regime
+  /// the queue has no steady state, Kingman's formula is meaningless, and
+  /// omega/tau are saturated (kMaxOmega / the deadlock-avoidance timeout)
+  /// instead of computed: the buffers are filling faster than this worker
+  /// drains them, so batching as much as the timeout allows is the
+  /// explicit, deliberate policy — not a numeric accident of clamping.
+  bool overloaded() const { return overloaded_; }
 
  private:
   const EngineOptions options_;
@@ -60,6 +77,7 @@ class DwsController {
   double lambda_ = 0.0;
   double mu_ = 0.0;
   double rho_ = 0.0;
+  bool overloaded_ = false;
 };
 
 }  // namespace dcdatalog

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <sstream>
 #include <thread>
@@ -91,7 +92,9 @@ class SccExecutor {
 
  private:
   struct WorkerStats {
-    std::vector<TraceEvent> trace;
+    std::vector<TraceEvent> trace;  // Ring snapshot, taken after the join.
+    uint64_t trace_dropped = 0;
+    WorkerMetrics metrics;
     uint64_t local_iterations = 0;
     uint64_t tuples_routed = 0;
     uint64_t tuples_folded = 0;
@@ -116,11 +119,17 @@ class SccExecutor {
     std::vector<MsgBlock> block_scratch;
     uint64_t local_iter = 0;
     int64_t idle_ns = 0;
-    std::vector<TraceEvent> trace;
+    /// Per-worker event ring: single-writer (this worker), snapshotted by
+    /// the executor after the join. Disabled (capacity 0, no allocation)
+    /// unless EngineOptions::enable_trace is set.
+    TraceRing ring;
+    /// Always-on distributions; log-bucket adds are as cheap as the plain
+    /// counters above.
+    WorkerMetrics metrics;
 
-    void Trace(TraceEvent::Kind kind, int64_t start_ns, int64_t end_ns,
-               uint64_t tuples, bool enabled, uint32_t scc) {
-      if (!enabled || trace.size() >= (1u << 20)) return;
+    void Span(TraceEventKind kind, int64_t start_ns, int64_t end_ns,
+              uint64_t tuples, uint32_t scc) {
+      if (!ring.enabled()) return;
       TraceEvent ev;
       ev.kind = kind;
       ev.worker = wid;
@@ -128,33 +137,42 @@ class SccExecutor {
       ev.start_ns = start_ns;
       ev.end_ns = end_ns;
       ev.tuples = tuples;
-      trace.push_back(ev);
+      ring.Append(ev);
+    }
+
+    void Instant(TraceEventKind kind, uint64_t tuples, uint32_t scc) {
+      if (!ring.enabled()) return;  // Skip the clock read, not just the append.
+      const int64_t now = MonotonicNanos();
+      Span(kind, now, now, tuples, scc);
     }
 
     WorkerContext(uint32_t n, const EngineOptions& options)
-        : dws(n, options) {}
+        : dws(n, options),
+          ring(options.enable_trace ? options.trace_ring_capacity : 0) {}
   };
 
   /// RAII idle-accounting span: on scope exit, charges the elapsed time to
-  /// the worker's idle-wait total and emits one kIdle trace event. Shared
-  /// by all three strategy loops and InactiveWait so the accounting cannot
-  /// drift between them.
+  /// the worker's idle-wait total and emits one wait-span trace event of
+  /// the given kind (which coordination mechanism blocked the worker).
+  /// Shared by all three strategy loops and InactiveWait so the accounting
+  /// cannot drift between them.
   class IdleScope {
    public:
-    IdleScope(const SccExecutor* exec, WorkerContext* ctx)
-        : exec_(exec), ctx_(ctx), start_(MonotonicNanos()) {}
+    IdleScope(const SccExecutor* exec, WorkerContext* ctx,
+              TraceEventKind kind)
+        : exec_(exec), ctx_(ctx), kind_(kind), start_(MonotonicNanos()) {}
     IdleScope(const IdleScope&) = delete;
     IdleScope& operator=(const IdleScope&) = delete;
     ~IdleScope() {
       const int64_t now = MonotonicNanos();
       ctx_->idle_ns += now - start_;
-      ctx_->Trace(TraceEvent::Kind::kIdle, start_, now, 0,
-                  exec_->options_.enable_trace, exec_->scc_ordinal_);
+      ctx_->Span(kind_, start_, now, 0, exec_->scc_ordinal_);
     }
 
    private:
     const SccExecutor* exec_;
     WorkerContext* ctx_;
+    const TraceEventKind kind_;
     const int64_t start_;
   };
 
@@ -166,6 +184,7 @@ class SccExecutor {
     WorkerContext ctx(n_, options_);
     ctx.wid = wid;
     ctx.exec = this;
+    ctx.Instant(TraceEventKind::kSccBegin, 0, scc_ordinal_);
 
     // Build this worker's replica partitions (first-touch local).
     auto& replicas = worker_replicas_[wid];
@@ -221,11 +240,16 @@ class SccExecutor {
         break;
     }
 
-    // Collect per-worker statistics.
+    ctx.Instant(TraceEventKind::kSccEnd, 0, scc_ordinal_);
+
+    // Collect per-worker statistics. The ring snapshot happens here, on the
+    // worker's own thread, so the single-writer invariant holds trivially.
     WorkerStats& ws = worker_stats_[wid];
     ws.local_iterations = ctx.local_iter;
     ws.idle_ns = ctx.idle_ns;
-    ws.trace = std::move(ctx.trace);
+    ctx.ring.Snapshot(&ws.trace);
+    ws.trace_dropped = ctx.ring.dropped();
+    ws.metrics = ctx.metrics;
     ws.tuples_routed = ctx.distributor->tuples_routed();
     ws.tuples_folded = ctx.distributor->tuples_folded();
     ws.tuples_emitted = ctx.distributor->tuples_emitted();
@@ -297,7 +321,11 @@ class SccExecutor {
       (*ctx->replicas)[r]->MergeBatch(batch);
       batch.clear();
     }
-    if (total > 0) detector_.AddConsumed(ctx->wid, total);
+    if (total > 0) {
+      detector_.AddConsumed(ctx->wid, total);
+      ctx->metrics.drain_batch.Add(total);
+      ctx->Instant(TraceEventKind::kDrain, total, scc_ordinal_);
+    }
     return total;
   }
 
@@ -320,6 +348,7 @@ class SccExecutor {
     }
     // One batched detector update per block, not per tuple.
     detector_.OnBlockPushed(dest, block.count);
+    ctx->Instant(TraceEventKind::kBlockPush, block.count, scc_ordinal_);
   }
 
   uint64_t DeltaTotal(const WorkerContext& ctx) const {
@@ -363,8 +392,9 @@ class SccExecutor {
     ctx->distributor->Flush();
     const int64_t end = MonotonicNanos();
     ctx->dws.OnIteration(end - start, processed);
-    ctx->Trace(TraceEvent::Kind::kIteration, start, end, processed,
-               options_.enable_trace, scc_ordinal_);
+    ctx->metrics.iteration_ns.Add(static_cast<uint64_t>(end - start));
+    ctx->Span(TraceEventKind::kIteration, start, end, processed,
+              scc_ordinal_);
     ++ctx->local_iter;
     if (options_.max_global_iterations != 0 &&
         ctx->local_iter > options_.max_global_iterations) {
@@ -377,7 +407,7 @@ class SccExecutor {
   /// Parks the worker at its local fixpoint until new input arrives or the
   /// global fixpoint is detected. Returns false when evaluation is over.
   bool InactiveWait(WorkerContext* ctx) {
-    IdleScope idle(this, ctx);
+    IdleScope idle(this, ctx, TraceEventKind::kPark);
     while (true) {
       if (Aborted()) return false;
       GatherAll(ctx);
@@ -405,7 +435,7 @@ class SccExecutor {
     const auto drain_idle = [this, ctx] { GatherAll(ctx); };
     // Everyone finishes the base phase before round 1.
     {
-      IdleScope idle(this, ctx);
+      IdleScope idle(this, ctx, TraceEventKind::kBarrierWait);
       barrier_.Wait([] {}, drain_idle);
     }
     while (true) {
@@ -414,7 +444,7 @@ class SccExecutor {
       const uint64_t delta = DeltaTotal(*ctx);
       round_delta_.fetch_add(delta, std::memory_order_acq_rel);
       {
-        IdleScope idle(this, ctx);
+        IdleScope idle(this, ctx, TraceEventKind::kBarrierWait);
         barrier_.Wait(
             [this] {
               // The abort check lives in the serial section so every worker
@@ -430,7 +460,7 @@ class SccExecutor {
       if (global_done_.load(std::memory_order_acquire)) return;
       if (delta > 0) LocalIteration(ctx);
       {
-        IdleScope idle(this, ctx);
+        IdleScope idle(this, ctx, TraceEventKind::kBarrierWait);
         barrier_.Wait([] {}, drain_idle);
       }
     }
@@ -451,7 +481,7 @@ class SccExecutor {
       }
       // Slack check against the slowest active worker.
       {
-        IdleScope idle(this, ctx);
+        IdleScope idle(this, ctx, TraceEventKind::kSspWait);
         while (!Aborted()) {
           const uint64_t min_iter = MinActiveIteration();
           if (min_iter == UINT64_MAX ||
@@ -490,17 +520,21 @@ class SccExecutor {
         if (!InactiveWait(ctx)) return;
         delta = DeltaTotal(*ctx);
       }
-      // Lines 5–8: bounded wait while the delta is small.
-      {
+      // Lines 5–8: bounded wait while the delta is small. The enclosing
+      // `if` keeps rounds that sail straight through (|δ| ≥ ω) from
+      // emitting zero-length kDwsWait spans.
+      bool waited = false;
+      if (delta > 0 && delta < static_cast<uint64_t>(ctx->dws.omega())) {
         const int64_t budget_ns =
             static_cast<int64_t>(options_.dws_timeout_us) * 1000;
         const int64_t wait_start = MonotonicNanos();
-        IdleScope idle(this, ctx);
+        IdleScope idle(this, ctx, TraceEventKind::kDwsWait);
+        waited = true;
         while (delta > 0 &&
                delta < static_cast<uint64_t>(ctx->dws.omega()) &&
                !Aborted()) {
-          const int64_t waited = MonotonicNanos() - wait_start;
-          if (waited >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
+          const int64_t elapsed = MonotonicNanos() - wait_start;
+          if (elapsed >= std::min(ctx->dws.tau_ns(), budget_ns)) break;
           // The τ-capped sleep IS DWS's coordination mechanism, not
           // incidental blocking — the strategy trades a bounded wait for a
           // bigger batch.
@@ -513,12 +547,12 @@ class SccExecutor {
       }
       if (delta == 0) continue;
       // Line 12: refresh ω and τ from current statistics, then iterate.
-      UpdateDws(ctx);
+      UpdateDws(ctx, waited);
       LocalIteration(ctx);
     }
   }
 
-  void UpdateDws(WorkerContext* ctx) {
+  void UpdateDws(WorkerContext* ctx, bool waited) {
     std::vector<uint64_t> sizes(n_);
     for (uint32_t j = 0; j < n_; ++j) {
       // The tuple-granular occupancy mirror, NOT ring.SizeApprox(): the
@@ -527,6 +561,25 @@ class SccExecutor {
       sizes[j] = Queue(j, ctx->wid).tuples.load(std::memory_order_relaxed);
     }
     ctx->dws.Update(sizes);
+    if (!ctx->ring.enabled()) return;
+    // Decision telemetry: the freshly recomputed model state, plus whether
+    // this round's wait gate actually held the worker back (proceed=false)
+    // or let it sail straight into the iteration (proceed=true).
+    const int64_t now = MonotonicNanos();
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kDwsDecision;
+    ev.proceed = !waited;
+    ev.worker = ctx->wid;
+    ev.scc = scc_ordinal_;
+    ev.start_ns = now;
+    ev.end_ns = now;
+    ev.tuples = 0;
+    ev.omega = ctx->dws.omega();
+    ev.rho = ctx->dws.rho();
+    ev.lambda = ctx->dws.lambda();
+    ev.mu = ctx->dws.mu();
+    ev.tau_ns = ctx->dws.tau_ns();
+    ctx->ring.Append(ev);
   }
 
   // --- Finalization -------------------------------------------------------
@@ -545,7 +598,13 @@ class SccExecutor {
   }
 
   void CollectStats(EvalStats* stats) {
-    for (const WorkerStats& ws : worker_stats_) {
+    // Called once per SCC; histograms merge across SCCs into the same
+    // per-worker slot.
+    if (stats->worker_metrics.size() < worker_stats_.size()) {
+      stats->worker_metrics.resize(worker_stats_.size());
+    }
+    for (size_t w = 0; w < worker_stats_.size(); ++w) {
+      const WorkerStats& ws = worker_stats_[w];
       stats->total_local_iterations += ws.local_iterations;
       stats->max_local_iterations =
           std::max(stats->max_local_iterations, ws.local_iterations);
@@ -558,8 +617,11 @@ class SccExecutor {
       stats->accepts += ws.accepts;
       stats->cache_hits += ws.cache_hits;
       stats->idle_wait_seconds += static_cast<double>(ws.idle_ns) * 1e-9;
+      stats->trace_dropped += ws.trace_dropped;
       stats->trace.insert(stats->trace.end(), ws.trace.begin(),
                           ws.trace.end());
+      stats->worker_metrics[w].iteration_ns.Merge(ws.metrics.iteration_ns);
+      stats->worker_metrics[w].drain_batch.Merge(ws.metrics.drain_batch);
     }
   }
 
@@ -585,16 +647,42 @@ class SccExecutor {
 
 }  // namespace
 
+std::vector<std::pair<const char*, double>> EvalStats::Counters() const {
+  return {
+      {"seconds", seconds},
+      {"num_sccs", static_cast<double>(num_sccs)},
+      {"total_local_iterations", static_cast<double>(total_local_iterations)},
+      {"max_local_iterations", static_cast<double>(max_local_iterations)},
+      {"tuples_routed", static_cast<double>(tuples_routed)},
+      {"tuples_folded", static_cast<double>(tuples_folded)},
+      {"tuples_emitted", static_cast<double>(tuples_emitted)},
+      {"blocks_sent", static_cast<double>(blocks_sent)},
+      {"self_loop_tuples", static_cast<double>(self_loop_tuples)},
+      {"merges", static_cast<double>(merges)},
+      {"accepts", static_cast<double>(accepts)},
+      {"cache_hits", static_cast<double>(cache_hits)},
+      {"idle_wait_seconds", idle_wait_seconds},
+      {"trace_dropped", static_cast<double>(trace_dropped)},
+  };
+}
+
 std::string EvalStats::ToString() const {
   std::ostringstream os;
-  os << "EvalStats{" << seconds << "s, sccs=" << num_sccs
-     << ", local_iters(total=" << total_local_iterations
-     << ", max=" << max_local_iterations << ")"
-     << ", routed=" << tuples_routed << ", folded=" << tuples_folded
-     << ", blocks=" << blocks_sent << ", self_loop=" << self_loop_tuples
-     << ", merges=" << merges << ", accepts=" << accepts
-     << ", cache_hits=" << cache_hits
-     << ", idle_wait=" << idle_wait_seconds << "s}";
+  os << "EvalStats{";
+  bool first = true;
+  for (const auto& [name, value] : Counters()) {
+    if (!first) os << ", ";
+    first = false;
+    os << name << "=";
+    // Integral counters print exactly; default stream precision would
+    // render large counts in lossy scientific notation (7.38615e+06).
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+      os << static_cast<int64_t>(value);
+    } else {
+      os << value;
+    }
+  }
+  os << "}";
   return os.str();
 }
 

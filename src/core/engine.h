@@ -3,27 +3,26 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/options.h"
 #include "common/status.h"
 #include "common/string_dict.h"
+#include "common/trace.h"
 #include "datalog/ast.h"
 #include "planner/physical_plan.h"
 #include "storage/catalog.h"
 
 namespace dcdatalog {
 
-/// One traced execution span (EngineOptions::enable_trace). Times are raw
-/// monotonic nanoseconds; normalize against the run's minimum.
-struct TraceEvent {
-  enum class Kind : uint8_t { kIteration, kIdle };
-  Kind kind = Kind::kIteration;
-  uint32_t worker = 0;
-  uint32_t scc = 0;
-  int64_t start_ns = 0;
-  int64_t end_ns = 0;
-  uint64_t tuples = 0;  // Delta tuples processed (iterations only).
+/// Per-worker latency/size distributions, collected on every run (the
+/// log-bucket adds are counter-cheap, so unlike tracing they need no flag).
+/// Merged across SCCs; exported by WriteMetricsJson.
+struct WorkerMetrics {
+  LogHistogram iteration_ns;   // Wall time of each local iteration.
+  LogHistogram drain_batch;    // Ring tuples consumed per non-empty drain.
 };
 
 /// Counters describing one evaluation run.
@@ -46,9 +45,25 @@ struct EvalStats {
   /// machines with fewer cores than workers it is the observable signal
   /// (wall time alone hides it because the OS reuses blocked slices).
   double idle_wait_seconds = 0.0;
+  /// Events lost to trace-ring overwrite (0 unless tracing is on and a
+  /// worker outran its ring).
+  uint64_t trace_dropped = 0;
 
-  /// Populated only when EngineOptions::enable_trace is set.
+  /// Populated only when EngineOptions::enable_trace is set: the merged
+  /// snapshot of every worker's trace ring, in per-worker append order.
   std::vector<TraceEvent> trace;
+
+  /// One entry per worker (indexed by worker id), always populated.
+  std::vector<WorkerMetrics> worker_metrics;
+
+  /// Every public counter as a (name, value) pair, in declaration order.
+  /// ToString and the metrics exporter are both generated from this list,
+  /// so a counter listed here cannot appear in one but not the other. The
+  /// coverage test in engine_test.cc stamps a distinct sentinel into every
+  /// struct field and asserts each sentinel surfaces in ToString() — when
+  /// adding a counter, add it to the struct, to Counters(), and to that
+  /// test's sentinel list.
+  std::vector<std::pair<const char*, double>> Counters() const;
 
   std::string ToString() const;
 };

@@ -127,6 +127,26 @@ RunOutcome RunEngineOnce(const FuzzCase& c, const RunConfig& config,
   return RunOutcome{OutcomeKind::kAgree, ""};
 }
 
+RunOutcome RunEngineTraced(const FuzzCase& c, const RunConfig& config,
+                           EvalStats* stats) {
+  EngineOptions options;
+  options.num_workers = config.num_workers;
+  options.coordination = config.mode;
+  options.max_global_iterations = config.max_global_iterations;
+  options.enable_trace = true;
+  DCDatalog db(options);
+  Status load = c.Load(&db);
+  if (!load.ok()) {
+    return RunOutcome{OutcomeKind::kLoadError, load.ToString()};
+  }
+  auto run = db.Run();
+  if (!run.ok()) {
+    return RunOutcome{OutcomeKind::kEngineError, run.status().ToString()};
+  }
+  *stats = std::move(run).value();
+  return RunOutcome{OutcomeKind::kAgree, ""};
+}
+
 RunOutcome RunCaseOnce(const FuzzCase& c, const RunConfig& config) {
   OracleRows oracle;
   RunOutcome ref = ComputeOracle(c, config.reference_max_rounds, &oracle);

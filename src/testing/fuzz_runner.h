@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/options.h"
+#include "core/engine.h"
 #include "storage/relation.h"
 #include "testing/program_gen.h"
 
@@ -65,6 +66,14 @@ RunOutcome ComputeOracle(const FuzzCase& c, uint64_t max_rounds,
 /// floating-point tolerance is needed.
 RunOutcome RunEngineOnce(const FuzzCase& c, const RunConfig& config,
                          const OracleRows& oracle);
+
+/// Evaluates `c` once with tracing forced on and fills `*stats` with the
+/// run's EvalStats (trace events, drop counts, per-worker histograms). The
+/// fuzz driver uses this to attach an execution trace to failing repros;
+/// result rows are not compared. Returns kAgree when the run completed,
+/// kLoadError / kEngineError otherwise (*stats is untouched then).
+RunOutcome RunEngineTraced(const FuzzCase& c, const RunConfig& config,
+                           EvalStats* stats);
 
 /// Convenience wrapper: ComputeOracle + RunEngineOnce in one call, for
 /// tests and single-shot use.

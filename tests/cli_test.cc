@@ -106,6 +106,89 @@ TEST(CliTest, RunReportsParseAndDataErrors) {
   std::remove(program.c_str());
 }
 
+TEST(CliTest, RejectsMalformedNumericFlags) {
+  const std::string program = TempPath("cli_flags.dl");
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X, Y).\n";
+  }
+  // Each of these used to slip through std::atoi as 0 or a truncated
+  // number; all must now fail before any evaluation starts.
+  for (const char* flags :
+       {"--workers abc", "--workers 2x", "--workers 0", "--workers -3",
+        "--workers 999999", "--slack abc", "--slack 0", "--seed 12junk",
+        "--weights -1"}) {
+    CmdResult r = RunCli("run " + program + " " + flags);
+    EXPECT_NE(r.exit_code, 0) << flags << ": " << r.output;
+    EXPECT_NE(r.output.find("expects"), std::string::npos)
+        << flags << " did not fail loudly: " << r.output;
+  }
+  std::remove(program.c_str());
+}
+
+TEST(CliTest, EqualsFormFlagsWork) {
+  const std::string edges = TempPath("cli_eq_edges.tsv");
+  const std::string program = TempPath("cli_eq.dl");
+  ASSERT_EQ(RunCli("generate gnp:100:0.02 " + edges + " --seed=3").exit_code,
+            0);
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X, Y).\n"
+         "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n";
+  }
+  CmdResult run = RunCli("run " + program + " --rel=arc=" + edges +
+                         " --workers=2 --mode=dws");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  std::remove(edges.c_str());
+  std::remove(program.c_str());
+}
+
+TEST(CliTest, TraceAndMetricsExports) {
+  const std::string edges = TempPath("cli_trace_edges.tsv");
+  const std::string program = TempPath("cli_trace.dl");
+  const std::string trace = TempPath("cli_trace.json");
+  const std::string metrics = TempPath("cli_metrics.json");
+  ASSERT_EQ(RunCli("generate gnp:150:0.02 " + edges + " --seed 9").exit_code,
+            0);
+  {
+    std::ofstream p(program);
+    p << "tc(X, Y) :- arc(X, Y).\n"
+         "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n";
+  }
+
+  // --trace-out implies tracing; no separate enable flag needed.
+  CmdResult run = RunCli("run " + program + " --rel arc=" + edges +
+                         " --workers 2 --mode dws --trace-out " + trace +
+                         " --metrics-out=" + metrics);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("wrote trace"), std::string::npos);
+  EXPECT_NE(run.output.find("wrote metrics"), std::string::npos);
+
+  std::stringstream tbuf;
+  tbuf << std::ifstream(trace).rdbuf();
+  const std::string tjson = tbuf.str();
+  EXPECT_NE(tjson.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"dws_decision\""), std::string::npos);
+  EXPECT_NE(tjson.find("\"worker 1\""), std::string::npos);
+
+  std::stringstream mbuf;
+  mbuf << std::ifstream(metrics).rdbuf();
+  const std::string mjson = mbuf.str();
+  EXPECT_NE(mjson.find("\"tuples_emitted\""), std::string::npos);
+  EXPECT_NE(mjson.find("\"iteration_ns\""), std::string::npos);
+
+  // Unwritable destination fails loudly, not silently.
+  CmdResult bad = RunCli("run " + program + " --rel arc=" + edges +
+                         " --trace-out /no/such/dir/trace.json");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("trace"), std::string::npos);
+
+  std::remove(edges.c_str());
+  std::remove(program.c_str());
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+}
+
 TEST(CliTest, GeneratorKinds) {
   for (const char* kind :
        {"tree:5", "gnp:200:0.01", "social:300:4", "ntree:400"}) {

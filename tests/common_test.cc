@@ -191,6 +191,35 @@ TEST(WelfordTest, DecayPreservesMoments) {
   EXPECT_NEAR(w.variance(), var, var * 0.05);
 }
 
+TEST(WelfordTest, DecayNeverEmptiesNonEmptyAccumulator) {
+  // Regression: integer halving turned count 1 into 0, and the DWS
+  // controller treats count() == 0 as "no estimate at all" — the mean the
+  // accumulator still held was silently discarded. Decay now rounds up.
+  Welford w;
+  w.Add(3.5);
+  w.Decay();
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+
+  // Repeated decay converges to 1, never 0.
+  for (int i = 0; i < 64; ++i) w.Decay();
+  EXPECT_EQ(w.count(), 1u);
+
+  // Odd counts round up: 3 → 2.
+  Welford w3;
+  w3.Add(1.0);
+  w3.Add(2.0);
+  w3.Add(3.0);
+  w3.Decay();
+  EXPECT_EQ(w3.count(), 2u);
+  EXPECT_DOUBLE_EQ(w3.mean(), 2.0);
+
+  // An empty accumulator stays empty.
+  Welford empty;
+  empty.Decay();
+  EXPECT_EQ(empty.count(), 0u);
+}
+
 TEST(OptionsTest, ResolvedFillsWorkerCount) {
   EngineOptions o;
   o.num_workers = 0;

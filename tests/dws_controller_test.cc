@@ -71,17 +71,45 @@ TEST(DwsControllerTest, VariabilityRaisesOmega) {
               std::min(expected_tau_s, 10e-3), 1e-4);
 }
 
-TEST(DwsControllerTest, OverloadIsClampedNotInfinite) {
+TEST(DwsControllerTest, OverloadSaturatesDeliberately) {
   DwsController dws(1, Opts());
-  // Arrivals much faster than service: ρ would exceed 1.
+  // Arrivals much faster than service: ρ ≈ 10 >> 1. Kingman's formula has
+  // no steady state here; the controller must saturate explicitly rather
+  // than clamp ρ and evaluate the model outside its domain (the old
+  // behaviour: ρ pinned to 0.95 produced a finite-but-bogus ω).
   FeedArrivals(&dws, 0, 100, 100000, 1);       // λ = 10000/s
   for (int i = 0; i < 100; ++i) {
     dws.OnIteration((i % 2 == 0) ? 500000 : 1500000, 1);  // μ = 1000/s
   }
   dws.Update({16});
-  EXPECT_LE(dws.rho(), 0.951);
+  EXPECT_TRUE(dws.overloaded());
+  // Telemetry keeps the true utilization instead of hiding it at 0.95.
+  EXPECT_NEAR(dws.rho(), 10.0, 0.5);
+  // ω/τ saturate: wait for as large a batch as the timeout permits.
+  EXPECT_EQ(dws.omega(), DwsController::kMaxOmega);
+  EXPECT_EQ(dws.tau_ns(), 10000 * 1000);
   EXPECT_TRUE(std::isfinite(dws.omega()));
-  EXPECT_LE(dws.tau_ns(), 10000 * 1000);
+}
+
+TEST(DwsControllerTest, BelowSaturationIsNotOverloaded) {
+  DwsController dws(1, Opts());
+  FeedArrivals(&dws, 0, 100, 1000000, 1);                // λ = 1000/s
+  for (int i = 0; i < 100; ++i) dws.OnIteration(500000, 1);  // μ = 2000/s
+  dws.Update({4});
+  EXPECT_FALSE(dws.overloaded());
+  EXPECT_LT(dws.omega(), DwsController::kMaxOmega);
+}
+
+TEST(DwsControllerTest, SingleServiceSampleIsEnough) {
+  // Companion to WelfordTest.DecayNeverEmptiesNonEmptyAccumulator: Update
+  // treats count() == 0 as "no estimate, don't wait", so a sparse source
+  // whose accumulator decays must still register here with count >= 1.
+  DwsController dws(1, Opts());
+  FeedArrivals(&dws, 0, 100, 100000, 1);  // Overload-grade arrivals.
+  dws.OnIteration(1000000, 1);            // Exactly one service sample.
+  dws.Update({16});
+  EXPECT_TRUE(dws.overloaded());  // The single sample is enough to model.
+  EXPECT_GT(dws.omega(), 0.0);
 }
 
 TEST(DwsControllerTest, BufferWeightsBiasTowardBusySources) {

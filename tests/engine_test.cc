@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <string>
 
 #include "common/random.h"
 #include "core/dcdatalog.h"
+#include "core/dws_controller.h"
 #include "graph/generators.h"
 #include "tests/test_util.h"
 
@@ -272,19 +275,27 @@ TEST(EngineTest, TraceEventsCoverRun) {
   ASSERT_TRUE(stats.ok());
   const auto& trace = stats.value().trace;
   ASSERT_FALSE(trace.empty());
-  bool saw_iteration = false, saw_idle = false;
+  bool saw_iteration = false, saw_barrier = false, saw_drain = false;
   std::set<uint32_t> workers;
+  std::set<uint32_t> scc_begins;
   for (const TraceEvent& ev : trace) {
     EXPECT_LE(ev.start_ns, ev.end_ns);
+    if (!TraceEventIsSpan(ev.kind)) {
+      EXPECT_EQ(ev.start_ns, ev.end_ns);
+    }
     workers.insert(ev.worker);
-    saw_iteration |= ev.kind == TraceEvent::Kind::kIteration;
-    saw_idle |= ev.kind == TraceEvent::Kind::kIdle;
+    saw_iteration |= ev.kind == TraceEventKind::kIteration;
+    saw_barrier |= ev.kind == TraceEventKind::kBarrierWait;
+    saw_drain |= ev.kind == TraceEventKind::kDrain;
+    if (ev.kind == TraceEventKind::kSccBegin) scc_begins.insert(ev.worker);
   }
   EXPECT_TRUE(saw_iteration);
-  EXPECT_TRUE(saw_idle);  // Global always parks someone at a barrier.
+  EXPECT_TRUE(saw_barrier);  // Global always parks someone at a barrier.
+  EXPECT_TRUE(saw_drain);
   EXPECT_EQ(workers.size(), 3u);
+  EXPECT_EQ(scc_begins.size(), 3u);  // Every worker marks SCC entry.
 
-  // Tracing off → no events.
+  // Tracing off → no events, and no drop accounting.
   opts.enable_trace = false;
   DCDatalog db2(opts);
   db2.AddGraph(g, "arc");
@@ -292,6 +303,111 @@ TEST(EngineTest, TraceEventsCoverRun) {
   auto stats2 = db2.Run();
   ASSERT_TRUE(stats2.ok());
   EXPECT_TRUE(stats2.value().trace.empty());
+  EXPECT_EQ(stats2.value().trace_dropped, 0u);
+}
+
+TEST(EngineTest, DwsTraceCarriesDecisionTelemetry) {
+  EngineOptions opts = Opts(3, CoordinationMode::kDws);
+  opts.enable_trace = true;
+  DCDatalog db(opts);
+  Graph g = GenerateGnp(60, 0.05, 6);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  size_t decisions = 0;
+  for (const TraceEvent& ev : stats.value().trace) {
+    if (ev.kind != TraceEventKind::kDwsDecision) continue;
+    ++decisions;
+    // Model state must be finite; the controller clamps omega and tau.
+    EXPECT_GE(ev.omega, 0.0);
+    EXPECT_LE(ev.omega, DwsController::kMaxOmega);
+    EXPECT_GE(ev.tau_ns, 0);
+    EXPECT_TRUE(std::isfinite(ev.rho));
+    EXPECT_TRUE(std::isfinite(ev.lambda));
+    EXPECT_TRUE(std::isfinite(ev.mu));
+  }
+  // Every DWS local iteration is preceded by exactly one Update → there
+  // are as many decisions as iterations (modulo ring overwrite, absent
+  // here at default capacity).
+  EXPECT_GT(decisions, 0u);
+}
+
+TEST(EngineTest, TinyTraceRingDropsOldestButCounts) {
+  EngineOptions opts = Opts(2, CoordinationMode::kGlobal);
+  opts.enable_trace = true;
+  opts.trace_ring_capacity = 4;  // Force overwrite on any real run.
+  DCDatalog db(opts);
+  Graph g = GenerateGnp(50, 0.06, 8);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().trace_dropped, 0u);
+  // Survivors: at most capacity per worker per SCC.
+  EXPECT_LE(stats.value().trace.size(),
+            4u * 2u * stats.value().num_sccs);
+  // The latest events survive — every worker's kSccEnd must be present.
+  std::set<uint32_t> enders;
+  for (const TraceEvent& ev : stats.value().trace) {
+    if (ev.kind == TraceEventKind::kSccEnd) enders.insert(ev.worker);
+  }
+  EXPECT_EQ(enders.size(), 2u);
+}
+
+TEST(EngineTest, WorkerMetricsAlwaysPopulated) {
+  // Histograms are collected even with tracing off.
+  DCDatalog db(Opts(2, CoordinationMode::kDws));
+  Graph g = GenerateGnp(40, 0.06, 11);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().worker_metrics.size(), 2u);
+  uint64_t iterations = 0;
+  for (const WorkerMetrics& wm : stats.value().worker_metrics) {
+    iterations += wm.iteration_ns.count();
+    EXPECT_LE(wm.iteration_ns.Quantile(0.5), wm.iteration_ns.Quantile(0.99));
+  }
+  EXPECT_EQ(iterations, stats.value().total_local_iterations);
+}
+
+TEST(EngineTest, ToStringCoversEveryCounter) {
+  // Stamp a distinct sentinel into every public counter field, then check
+  // each sentinel surfaces in ToString(). Catches the class of bug where a
+  // counter is added to the struct but forgotten in the formatter (which
+  // happened to tuples_emitted). When adding a counter: struct, Counters(),
+  // and this sentinel list.
+  EvalStats s;
+  s.seconds = 101.5;
+  s.num_sccs = 102;
+  s.total_local_iterations = 103;
+  s.max_local_iterations = 104;
+  s.tuples_routed = 105;
+  s.tuples_folded = 106;
+  s.tuples_emitted = 107;
+  s.blocks_sent = 108;
+  s.self_loop_tuples = 109;
+  s.merges = 110;
+  s.accepts = 111;
+  s.cache_hits = 112;
+  s.idle_wait_seconds = 113.25;
+  s.trace_dropped = 114;
+  const std::string str = s.ToString();
+  const auto counters = s.Counters();
+  ASSERT_EQ(counters.size(), 14u)
+      << "EvalStats grew a field: stamp it above and list it in Counters()";
+  std::set<double> sentinels;
+  for (const auto& [name, value] : counters) {
+    EXPECT_NE(str.find(name), std::string::npos)
+        << "counter missing from ToString: " << name;
+    sentinels.insert(value);
+  }
+  // All 14 sentinels distinct → every field is wired to its own name, not
+  // copy-pasted from a neighbour.
+  EXPECT_EQ(sentinels.size(), 14u);
+  EXPECT_NE(str.find("tuples_emitted"), std::string::npos);
+  EXPECT_NE(str.find("107"), std::string::npos);
 }
 
 TEST(EngineTest, OutputsDirectiveSurvivesPlanning) {

@@ -16,14 +16,18 @@
 //         social:<vertices>[:<deg>]  ntree:<vertices>
 //       --weights <max> adds random integer weights.
 //
-// Common options:
-//   --workers N        worker threads (default: hardware)
+// Common options (--flag value and --flag=value are both accepted):
+//   --workers N        worker threads, 1..4096 (default: hardware)
 //   --mode global|ssp|dws
 //   --slack N          SSP slack (default 5)
 //   --no-agg-index --no-cache --no-partial-agg   disable §6.2/Fig.7 opts
 //   --out pred=path    write one predicate to a file (repeatable)
 //   --stats            print EvalStats
 //   --seed N           generator seed (default 42)
+//   --trace-out FILE   write a Chrome trace-event JSON of the run (implies
+//                      tracing on); load it in Perfetto / chrome://tracing
+//   --metrics-out FILE write the flat metrics snapshot JSON (counters plus
+//                      per-worker latency/batch histograms)
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "core/dcdatalog.h"
+#include "core/trace_export.h"
 #include "datalog/analysis.h"
 #include "graph/generators.h"
 #include "storage/text_io.h"
@@ -57,12 +63,26 @@ struct Options {
   bool stats = false;
   uint64_t seed = 42;
   int64_t weights = 0;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool ParseCommon(int argc, char** argv, int start, Options* opts) {
   for (int i = start; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline = true;
+      }
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--rel") {
@@ -80,9 +100,17 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       if (eq == std::string::npos) return false;
       opts->outputs.emplace_back(s.substr(0, eq), s.substr(eq + 1));
     } else if (arg == "--workers") {
+      // Checked parse: std::atoi would silently turn "abc" or "4x" into a
+      // number and run the evaluation with a nonsensical worker count.
       const char* v = next();
-      if (!v) return false;
-      opts->engine.num_workers = std::atoi(v);
+      uint32_t workers = 0;
+      if (!v || !ParseUint32Checked(v, 1, 4096, &workers)) {
+        std::fprintf(stderr,
+                     "--workers expects an integer in [1, 4096], got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+      opts->engine.num_workers = workers;
     } else if (arg == "--mode") {
       const char* v = next();
       if (!v) return false;
@@ -97,8 +125,14 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       }
     } else if (arg == "--slack") {
       const char* v = next();
-      if (!v) return false;
-      opts->engine.ssp_slack = std::atoi(v);
+      uint32_t slack = 0;
+      if (!v || !ParseUint32Checked(v, 1, 1000000, &slack)) {
+        std::fprintf(
+            stderr, "--slack expects an integer in [1, 1000000], got '%s'\n",
+            v ? v : "(nothing)");
+        return false;
+      }
+      opts->engine.ssp_slack = slack;
     } else if (arg == "--no-agg-index") {
       opts->engine.enable_aggregate_index = false;
     } else if (arg == "--no-cache") {
@@ -109,17 +143,38 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       opts->stats = true;
     } else if (arg == "--seed") {
       const char* v = next();
-      if (!v) return false;
-      opts->seed = std::strtoull(v, nullptr, 10);
+      uint64_t seed = 0;
+      if (!v || !ParseUint64Checked(v, 0, UINT64_MAX, &seed)) {
+        std::fprintf(stderr, "--seed expects a non-negative integer, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+      opts->seed = seed;
     } else if (arg == "--weights") {
       const char* v = next();
-      if (!v) return false;
-      opts->weights = std::atoll(v);
+      int64_t weights = 0;
+      if (!v || !ParseInt64Checked(v, 0, INT64_MAX, &weights)) {
+        std::fprintf(stderr,
+                     "--weights expects a non-negative integer, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+      opts->weights = weights;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v || *v == '\0') return false;
+      opts->trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v || *v == '\0') return false;
+      opts->metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
     }
   }
+  // A trace destination implies tracing; nobody wants an empty file.
+  if (!opts->trace_out.empty()) opts->engine.enable_trace = true;
   return true;
 }
 
@@ -202,6 +257,25 @@ int CmdRun(const Options& opts) {
   }
   if (opts.stats) {
     std::fprintf(stderr, "%s\n", stats.value().ToString().c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    Status w = WriteChromeTraceFile(stats.value(), opts.trace_out);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace (%llu events, %llu dropped) to %s\n",
+                 static_cast<unsigned long long>(stats.value().trace.size()),
+                 static_cast<unsigned long long>(stats.value().trace_dropped),
+                 opts.trace_out.c_str());
+  }
+  if (!opts.metrics_out.empty()) {
+    Status w = WriteMetricsJsonFile(stats.value(), opts.metrics_out);
+    if (!w.ok()) {
+      std::fprintf(stderr, "%s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", opts.metrics_out.c_str());
   }
 
   // Which predicates to surface: --out wins; else .output; else all IDB.

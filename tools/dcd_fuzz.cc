@@ -49,6 +49,8 @@
 #include <vector>
 
 #include "common/chaos.h"
+#include "common/parse.h"
+#include "core/trace_export.h"
 #include "graph/graph.h"
 #include "testing/fuzz_runner.h"
 #include "testing/minimizer.h"
@@ -164,9 +166,18 @@ bool ParseWorkers(const std::string& list, std::vector<uint32_t>* out) {
   while (pos <= list.size()) {
     size_t comma = list.find(',', pos);
     if (comma == std::string::npos) comma = list.size();
-    const int w = std::atoi(list.substr(pos, comma - pos).c_str());
-    if (w <= 0) return false;
-    out->push_back(static_cast<uint32_t>(w));
+    const std::string entry = list.substr(pos, comma - pos);
+    uint32_t w = 0;
+    // Checked parse: std::atoi turned "2x" into 2 and "x2" into a silent
+    // rejection-by-zero; both now fail loudly with the offending entry.
+    if (!ParseUint32Checked(entry.c_str(), 1, 4096, &w)) {
+      std::fprintf(stderr,
+                   "[dcd_fuzz] bad --workers entry '%s': expected an "
+                   "integer in [1, 4096]\n",
+                   entry.c_str());
+      return false;
+    }
+    out->push_back(w);
     pos = comma + 1;
   }
   return !out->empty();
@@ -410,6 +421,61 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << reduced.program;
 }
 
+/// Best-effort trace attachment for a failing repro: re-runs the reduced
+/// case with tracing forced on in a forked child and writes
+/// <stem>.trace.json next to the .dl/.edges pair. The case is a known
+/// failure — it may crash, hang, or mismatch — so the run is isolated like
+/// any other; a mismatch still completes and yields a full timeline, while
+/// a crash/hang child simply leaves no trace file behind.
+void DumpReproTrace(const FuzzFlags& flags, const std::string& stem,
+                    const FuzzCase& reduced, CoordinationMode mode,
+                    uint32_t workers) {
+  const std::string path = flags.out_dir + "/" + stem + ".trace.json";
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("[dcd_fuzz] fork (trace dump)");
+    return;
+  }
+  if (pid == 0) {
+    EvalStats stats;
+    const RunOutcome out = testing_gen::RunEngineTraced(
+        reduced, MakeConfig(flags, mode, workers), &stats);
+    // Only a completed run yields stats; mismatches complete (the diff is
+    // the parent's verdict, not the engine's), so the common failure modes
+    // all get a timeline.
+    if (out.kind != OutcomeKind::kAgree) _exit(1);
+    const Status w = WriteChromeTraceFile(stats, path);
+    _exit(w.ok() ? 0 : 1);
+  }
+  uint64_t waited_ms = 0;
+  int status = 0;
+  for (;;) {
+    const pid_t done = waitpid(pid, &status, WNOHANG);
+    if (done == pid) break;
+    if (done < 0) {
+      std::perror("[dcd_fuzz] waitpid (trace dump)");
+      return;
+    }
+    if (waited_ms >= flags.timeout_ms) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      std::fprintf(stderr, "[dcd_fuzz] trace dump timed out; no %s\n",
+                   path.c_str());
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    waited_ms += 2;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    std::printf("[dcd_fuzz] wrote execution trace to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "[dcd_fuzz] trace dump child failed; no %s (the repro "
+                 "crashes before completing)\n",
+                 path.c_str());
+  }
+}
+
 int RunReplay(const FuzzFlags& flags) {
   std::ifstream in(flags.replay_program);
   if (!in) {
@@ -547,6 +613,8 @@ int FuzzMain(int argc, char** argv) {
                                  std::to_string(workers);
         WriteRepro(flags, stem, c, r, mode, workers, reduced.reduced,
                    reduced.num_workers, reduced.probes);
+        DumpReproTrace(flags, stem, reduced.reduced, mode,
+                       reduced.num_workers);
         std::printf(
             "seed %llu %s x%u: minimized to %zu rules / %llu edges / %u "
             "workers (%u probes) -> %s/%s.*\n",

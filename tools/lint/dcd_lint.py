@@ -76,6 +76,8 @@ HOT_PATH_FILES = {
     "src/core/engine.cc",
     "src/core/dws_controller.h",
     "src/core/dws_controller.cc",
+    "src/common/trace.h",
+    "src/common/histogram.h",
 }
 
 # The audited coordination points that may reference chaos macros
@@ -114,6 +116,10 @@ HOT_LOOP_FUNCTIONS = {
         "GatherAll", "PushWithBackpressure", "LocalIteration", "InactiveWait",
         "GlobalLoop", "SspLoop", "DwsLoop", "UpdateDws",
     ],
+    # The trace ring's Append and the histogram's Add run inside every one
+    # of the engine hot loops above; they must stay allocation-free.
+    "src/common/trace.h": ["Append"],
+    "src/common/histogram.h": ["Add", "BucketOf"],
 }
 
 ALL_RULES = (
