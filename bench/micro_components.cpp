@@ -1,9 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the engine's building blocks:
-// B+-tree vs std::map, hash/dynamic indexes, SPSC queue, tuple set,
-// recursive-table merge paths (the §6.2 optimization in isolation).
+// B+-tree vs std::map, hash/dynamic indexes, SPSC queue, flat merge
+// structures, recursive-table merge paths (the §6.2 optimization in
+// isolation) including the flat-vs-btree merge backend ablation.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <functional>
@@ -25,8 +27,9 @@
 #include "runtime/recursive_table.h"
 #include "storage/btree.h"
 #include "storage/dyn_index.h"
+#include "storage/flat_map.h"
+#include "storage/flat_set.h"
 #include "storage/hash_index.h"
-#include "storage/tuple_set.h"
 
 namespace dcdatalog {
 namespace {
@@ -130,19 +133,40 @@ void BM_SpscQueueThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SpscQueueThroughput);
 
-void BM_TupleSetInsert(benchmark::State& state) {
+void BM_FlatSetInsert(benchmark::State& state) {
   for (auto _ : state) {
     Relation rel("r", Schema::Ints(2));
-    TupleSet set(&rel);
+    FlatTupleSet set(&rel);
     Rng rng(1);
     for (int64_t i = 0; i < state.range(0); ++i) {
-      uint64_t row = rel.Append({rng.Uniform(1 << 16), rng.Uniform(1 << 16)});
-      benchmark::DoNotOptimize(set.Insert(row));
+      TupleBuf buf{rng.Uniform(1 << 16), rng.Uniform(1 << 16)};
+      const TupleRef tuple = buf.Ref(2);
+      const uint64_t hash = tuple.Hash();
+      if (set.Find(hash, tuple) == FlatTupleSet::kNotFound) {
+        set.Insert(hash, rel.Append(tuple));
+      }
     }
+    benchmark::DoNotOptimize(set.size());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_TupleSetInsert)->Arg(100000);
+BENCHMARK(BM_FlatSetInsert)->Arg(100000);
+
+void BM_FlatGroupMapUpsert(benchmark::State& state) {
+  for (auto _ : state) {
+    FlatGroupMap map;
+    Rng rng(1);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      bool inserted = false;
+      uint64_t* v = map.FindOrInsert(
+          U128{rng.Uniform(1 << 14), rng.Uniform(4)}, i, &inserted);
+      if (!inserted) *v += 1;
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FlatGroupMapUpsert)->Arg(100000);
 
 // --- Distribute→gather communication path --------------------------------
 //
@@ -481,10 +505,12 @@ AggSpec MinSpec() {
   return s;
 }
 
-void MergeBench(benchmark::State& state, bool agg_index, bool cache) {
+void MergeBench(benchmark::State& state, bool agg_index, bool cache,
+                MergeIndexBackend backend) {
   EngineOptions options;
   options.enable_aggregate_index = agg_index;
   options.enable_existence_cache = cache;
+  options.merge_index_backend = backend;
   Rng rng(1);
   std::vector<std::vector<TupleBuf>> batches;
   for (int b = 0; b < 64; ++b) {
@@ -502,20 +528,81 @@ void MergeBench(benchmark::State& state, bool agg_index, bool cache) {
   state.SetItemsProcessed(state.iterations() * 64 * 1024);
 }
 
+// The BM_MergeMin{Indexed,IndexedNoCache,LinearScan} trio predates the flat
+// merge backend; they stay pinned to kBtree so the historical Table 4 numbers
+// in EXPERIMENTS.md remain reproducible. BM_MergeMinFlat is the same workload
+// on the flat group map.
 void BM_MergeMinIndexed(benchmark::State& state) {
-  MergeBench(state, /*agg_index=*/true, /*cache=*/true);
+  MergeBench(state, /*agg_index=*/true, /*cache=*/true,
+             MergeIndexBackend::kBtree);
 }
 BENCHMARK(BM_MergeMinIndexed);
 
 void BM_MergeMinIndexedNoCache(benchmark::State& state) {
-  MergeBench(state, /*agg_index=*/true, /*cache=*/false);
+  MergeBench(state, /*agg_index=*/true, /*cache=*/false,
+             MergeIndexBackend::kBtree);
 }
 BENCHMARK(BM_MergeMinIndexedNoCache);
 
 void BM_MergeMinLinearScan(benchmark::State& state) {
-  MergeBench(state, /*agg_index=*/false, /*cache=*/false);
+  MergeBench(state, /*agg_index=*/false, /*cache=*/false,
+             MergeIndexBackend::kBtree);
 }
 BENCHMARK(BM_MergeMinLinearScan);
+
+void BM_MergeMinFlat(benchmark::State& state) {
+  MergeBench(state, /*agg_index=*/true, /*cache=*/true,
+             MergeIndexBackend::kFlat);
+}
+BENCHMARK(BM_MergeMinFlat);
+
+AggSpec NoneSpec() {
+  AggSpec s;
+  s.func = AggFunc::kNone;
+  s.group_arity = 2;
+  s.stored_arity = 2;
+  s.wire_arity = 2;
+  s.value_type = ColumnType::kInt;
+  return s;
+}
+
+// The PR 5 acceptance workload: a 1M-tuple kNone dedup merge. Tuples are
+// drawn from a 2^20-pair universe, so ~37% of arrivals are duplicates —
+// every wire exercises both the probe and (often) the insert path. Batches
+// are engine-sized (4096) so the flat backend's prefetch pipeline runs at
+// its real depth.
+void MergeNoneBench(benchmark::State& state, MergeIndexBackend backend) {
+  EngineOptions options;
+  options.merge_index_backend = backend;
+  Rng rng(1);
+  const int64_t total = state.range(0);
+  const int64_t kBatch = 4096;
+  std::vector<std::vector<TupleBuf>> batches;
+  for (int64_t done = 0; done < total; done += kBatch) {
+    std::vector<TupleBuf> batch;
+    const int64_t n = std::min(kBatch, total - done);
+    for (int64_t i = 0; i < n; ++i) {
+      batch.push_back({rng.Uniform(1 << 10), rng.Uniform(1 << 10)});
+    }
+    batches.push_back(std::move(batch));
+  }
+  for (auto _ : state) {
+    RecursiveTable table("r", Schema::Ints(2), NoneSpec(), 0, false, options);
+    for (const auto& batch : batches) table.MergeBatch(batch);
+    benchmark::DoNotOptimize(table.rows().size());
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+
+void BM_MergeNoneFlat(benchmark::State& state) {
+  MergeNoneBench(state, MergeIndexBackend::kFlat);
+}
+BENCHMARK(BM_MergeNoneFlat)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_MergeNoneBtree(benchmark::State& state) {
+  MergeNoneBench(state, MergeIndexBackend::kBtree);
+}
+BENCHMARK(BM_MergeNoneBtree)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dcdatalog

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Merge-backend bench smoke: runs the flat-vs-btree merge microbenches
+# (the PR 5 / Table 4 ablation axis) plus the end-to-end TC engine bench,
+# and emits BENCH_PR5.json at the repository root.
+#
+# Usage:
+#   scripts/run_bench_smoke.sh                 # measure, write BENCH_PR5.json
+#   scripts/run_bench_smoke.sh --check FILE    # measure, then fail if the
+#                                              # flat merge path regressed
+#                                              # >20% vs the baseline FILE
+#
+# Environment:
+#   BUILD_DIR=<dir>   build tree containing bench/micro_components
+#                     (default: build)
+#   OUT=<file>        output path (default: BENCH_PR5.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_PR5.json}"
+BASELINE=""
+if [[ "${1:-}" == "--check" ]]; then
+  BASELINE="${2:?--check needs a baseline file}"
+fi
+
+BENCH="$BUILD_DIR/bench/micro_components"
+if [[ ! -x "$BENCH" ]]; then
+  echo "run_bench_smoke: $BENCH not built (set BUILD_DIR?)" >&2
+  exit 2
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# One process, one JSON: the 1M-tuple kNone dedup merge on both backends,
+# the min-merge ablation trio plus its flat twin, and the end-to-end TC run.
+"$BENCH" \
+  --benchmark_filter='BM_MergeNone(Flat|Btree)|BM_MergeMin(Indexed|IndexedNoCache|LinearScan|Flat)$|BM_EngineTcTraceOff' \
+  --benchmark_format=json --benchmark_out="$RAW" \
+  --benchmark_out_format=json >&2
+
+python3 - "$RAW" "$OUT" "$BASELINE" <<'PY'
+import json, sys
+
+raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+by_name = {}
+for b in raw.get("benchmarks", []):
+    # Strip the /Arg suffix: BM_MergeNoneFlat/1048576 -> BM_MergeNoneFlat.
+    by_name[b["name"].split("/")[0]] = b
+
+def mtps(name):
+    b = by_name.get(name)
+    return round(b["items_per_second"] / 1e6, 3) if b else None
+
+def ms(name):
+    b = by_name.get(name)
+    if b is None:
+        return None
+    t = b["real_time"]
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    return round(t * scale, 3)
+
+flat = mtps("BM_MergeNoneFlat")
+btree = mtps("BM_MergeNoneBtree")
+result = {
+    "bench": "merge-backend ablation (PR 5)",
+    "workload": "1M-tuple kNone dedup merge, 4096-tuple batches, "
+                "2^20-pair universe",
+    "merge_none_flat_mtps": flat,
+    "merge_none_btree_mtps": btree,
+    "flat_over_btree": round(flat / btree, 2) if flat and btree else None,
+    "merge_min_btree_indexed_mtps": mtps("BM_MergeMinIndexed"),
+    "merge_min_btree_nocache_mtps": mtps("BM_MergeMinIndexedNoCache"),
+    "merge_min_btree_linear_mtps": mtps("BM_MergeMinLinearScan"),
+    "merge_min_flat_mtps": mtps("BM_MergeMinFlat"),
+    "end_to_end_tc_ms": ms("BM_EngineTcTraceOff"),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result, indent=2))
+
+if baseline_path:
+    with open(baseline_path) as f:
+        base = json.load(f)
+    base_flat = base.get("merge_none_flat_mtps")
+    if base_flat and flat is not None and flat < 0.8 * base_flat:
+        print(
+            f"FAIL: flat merge path regressed: {flat} Mtuples/s vs "
+            f"baseline {base_flat} (>20% slower)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"check OK: flat {flat} Mtuples/s vs baseline {base_flat}")
+PY

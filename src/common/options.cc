@@ -17,6 +17,16 @@ const char* CoordinationModeName(CoordinationMode mode) {
   return "unknown";
 }
 
+const char* MergeIndexBackendName(MergeIndexBackend backend) {
+  switch (backend) {
+    case MergeIndexBackend::kFlat:
+      return "flat";
+    case MergeIndexBackend::kBtree:
+      return "btree";
+  }
+  return "unknown";
+}
+
 EngineOptions EngineOptions::Resolved() const {
   EngineOptions out = *this;
   if (out.num_workers == 0) {
@@ -37,6 +47,7 @@ std::string EngineOptions::ToString() const {
      << ", spsc_capacity=" << spsc_capacity
      << ", agg_index=" << (enable_aggregate_index ? "on" : "off")
      << ", exist_cache=" << (enable_existence_cache ? "on" : "off")
+     << ", merge_backend=" << MergeIndexBackendName(merge_index_backend)
      << ", trace=" << (enable_trace ? "on" : "off") << "}";
   return os.str();
 }

@@ -15,6 +15,16 @@ enum class CoordinationMode : uint8_t {
 
 const char* CoordinationModeName(CoordinationMode mode);
 
+/// Which index family backs the RecursiveTable merge paths (§6.2.1).
+enum class MergeIndexBackend : uint8_t {
+  kFlat = 0,   // Open-addressed flat structures (storage/flat_{set,map}.h)
+               // with the prefetch-pipelined batch merge — the hot path.
+  kBtree = 1,  // The original B+-tree indexes; kept as the Table 4 ablation
+               // baseline and as the differential-fuzzing cross-check.
+};
+
+const char* MergeIndexBackendName(MergeIndexBackend backend);
+
 /// Engine-wide tuning knobs. Defaults reproduce the configuration the paper
 /// evaluates (DWS with all §6 optimizations on).
 struct EngineOptions {
@@ -49,6 +59,11 @@ struct EngineOptions {
   /// Distribute before routing, so only each iteration's per-group best
   /// crosses worker boundaries.
   bool enable_partial_aggregation = true;
+
+  /// §6.2.1 merge-path index family. Flat open addressing is the default
+  /// hot path; the B+-tree backend survives as the ablation baseline
+  /// (`--merge-index-backend=btree` reproduces the pre-flat numbers).
+  MergeIndexBackend merge_index_backend = MergeIndexBackend::kFlat;
 
   /// Existence-cache slots per worker (direct-mapped).
   uint32_t existence_cache_slots = 1 << 15;

@@ -104,6 +104,7 @@ class SccExecutor {
     uint64_t merges = 0;
     uint64_t accepts = 0;
     uint64_t cache_hits = 0;
+    uint64_t merge_probe_cmps = 0;
     int64_t idle_ns = 0;
   };
 
@@ -197,6 +198,22 @@ class SccExecutor {
     ctx.replicas = &replicas;
     ctx.gather_scratch.resize(replicas.size());
 
+    // EDB cardinality hints: presize each replica for roughly the rows its
+    // base rules will feed it (driving-relation sizes, hash-partitioned
+    // across n workers) so the first iterations of a TC-style run don't pay
+    // growth rehashes. Setup path — the locked Catalog is fine here.
+    for (size_t r = 0; r < scc_.replicas.size(); ++r) {
+      const ReplicaSpec& spec = scc_.replicas[r];
+      uint64_t hint = 0;
+      for (const PhysicalRule& rule : scc_.base_rules) {
+        if (rule.head.predicate != spec.predicate) continue;
+        if (rule.driving_is_unit || rule.driving_relation.empty()) continue;
+        const Relation* rel = catalog_->Find(rule.driving_relation);
+        if (rel != nullptr) hint += rel->size();
+      }
+      if (hint > 0) replicas[r]->ReserveHint(hint / n_ + 1);
+    }
+
     // Register scratch sized for the widest rule.
     uint32_t max_regs = 1;
     for (const PhysicalRule& r : scc_.base_rules) {
@@ -259,6 +276,7 @@ class SccExecutor {
       ws.merges += table->merges();
       ws.accepts += table->accepts();
       ws.cache_hits += table->cache_hits();
+      ws.merge_probe_cmps += table->merge_probe_cmps();
     }
   }
 
@@ -616,6 +634,7 @@ class SccExecutor {
       stats->merges += ws.merges;
       stats->accepts += ws.accepts;
       stats->cache_hits += ws.cache_hits;
+      stats->merge_probe_cmps += ws.merge_probe_cmps;
       stats->idle_wait_seconds += static_cast<double>(ws.idle_ns) * 1e-9;
       stats->trace_dropped += ws.trace_dropped;
       stats->trace.insert(stats->trace.end(), ws.trace.begin(),
@@ -661,6 +680,7 @@ std::vector<std::pair<const char*, double>> EvalStats::Counters() const {
       {"merges", static_cast<double>(merges)},
       {"accepts", static_cast<double>(accepts)},
       {"cache_hits", static_cast<double>(cache_hits)},
+      {"merge_probe_cmps", static_cast<double>(merge_probe_cmps)},
       {"idle_wait_seconds", idle_wait_seconds},
       {"trace_dropped", static_cast<double>(trace_dropped)},
   };

@@ -39,6 +39,12 @@ struct EvalStats {
   uint64_t merges = 0;                  // Wire tuples offered to Gather.
   uint64_t accepts = 0;                 // ... that changed a table.
   uint64_t cache_hits = 0;              // Existence-cache fast paths.
+  /// Key/tuple comparisons spent probing the merge indexes — the collision
+  /// resolution work of whichever merge_index_backend is active. The
+  /// flat-vs-btree ablation reads differently here even when wall time is
+  /// close: probe comparisons are the dependent-load chain the flat
+  /// structures exist to shorten.
+  uint64_t merge_probe_cmps = 0;
   /// Cumulative time workers spent blocked in coordination — barrier spins
   /// (Global), slack waits (SSP), ω/τ waits and inactive parking (DWS).
   /// This is the quantity the coordination strategies trade off; on

@@ -9,6 +9,16 @@
 #include "common/logging.h"
 
 namespace dcdatalog {
+namespace {
+
+// Probe-slot prefetch distance for the pipelined kNone batch merge: far
+// enough ahead that the prefetched line arrives from DRAM before the
+// compare/insert pass reaches it (~8 merges cover a memory latency at the
+// merge path's per-tuple cost), near enough that the line is still resident
+// and a mid-batch rehash strands only a few in-flight prefetches.
+constexpr size_t kPrefetchDistance = 8;
+
+}  // namespace
 
 RecursiveTable::RecursiveTable(const std::string& name, Schema stored_schema,
                                AggSpec spec, uint32_t partition_col,
@@ -21,8 +31,10 @@ RecursiveTable::RecursiveTable(const std::string& name, Schema stored_schema,
       use_cache_(options.enable_existence_cache &&
                  (spec.func == AggFunc::kNone || spec.func == AggFunc::kMin ||
                   spec.func == AggFunc::kMax)),
+      use_flat_(options.merge_index_backend == MergeIndexBackend::kFlat),
       sum_epsilon_(options.sum_epsilon),
-      rows_(name, std::move(stored_schema)) {
+      rows_(name, std::move(stored_schema)),
+      exist_set_(&rows_) {
   if (use_cache_) {
     const uint64_t slots = std::bit_ceil<uint64_t>(
         std::max<uint32_t>(options.existence_cache_slots, 16));
@@ -40,6 +52,42 @@ bool RecursiveTable::BetterValue(uint64_t candidate, uint64_t current) const {
   const int64_t c = IntFromWord(candidate);
   const int64_t v = IntFromWord(current);
   return spec_.func == AggFunc::kMin ? c < v : c > v;
+}
+
+void RecursiveTable::ReserveHint(uint64_t expected_rows) {
+  DCD_AFFINITY_GUARD(writer_affinity_);
+  if (expected_rows == 0) return;
+  rows_.Reserve(expected_rows);
+  if (use_join_index_) join_index_.Reserve(expected_rows);
+  if (!use_flat_) return;
+  switch (spec_.func) {
+    case AggFunc::kNone:
+      exist_set_.Reserve(expected_rows);
+      break;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      flat_group_.Reserve(expected_rows);
+      break;
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+      // Contributors dominate groups; the hint counts contributions.
+      flat_group_.Reserve(expected_rows);
+      flat_contrib_.Reserve(expected_rows);
+      break;
+  }
+}
+
+uint64_t* RecursiveTable::FindGroup(const U128& group) {
+  return use_flat_ ? flat_group_.Find(group) : group_index_.FindFirst(group);
+}
+
+void RecursiveTable::InsertGroup(const U128& group, uint64_t row_id) {
+  if (use_flat_) {
+    bool inserted = false;
+    flat_group_.FindOrInsert(group, row_id, &inserted);
+  } else {
+    group_index_.Insert(group, row_id);
+  }
 }
 
 uint64_t RecursiveTable::AppendRow(const uint64_t* stored) {
@@ -72,17 +120,31 @@ void RecursiveTable::CacheFill(uint64_t hash, uint64_t row_id) {
   cache_slots_[hash & cache_mask_] = row_id + 1;
 }
 
-bool RecursiveTable::MergeNone(const uint64_t* wire) {
+bool RecursiveTable::MergeNone(const uint64_t* wire, uint64_t hash) {
   const TupleRef tuple{wire, spec_.stored_arity};
-  const uint64_t hash = tuple.Hash();
   if (CacheCheckDuplicate(tuple, hash)) {
     ++cache_hits_;
     return false;
+  }
+  if (use_flat_) {
+    // Existence check via the flat (hash, row id) set: one linear probe,
+    // full-tuple compare only on hash-equal slots.
+    const uint64_t found = exist_set_.Find(hash, tuple);
+    if (found != FlatTupleSet::kNotFound) {
+      CacheFill(hash, found);
+      return false;
+    }
+    const uint64_t row_id = AppendRow(wire);
+    exist_set_.Insert(hash, row_id);
+    CacheFill(hash, row_id);
+    PushDelta(row_id);
+    return true;
   }
   // Existence check via the B+-tree keyed (hash, row id); compare rows to
   // rule out hash collisions.
   for (auto it = group_index_.LowerBound(U128{hash, 0});
        !it.AtEnd() && it.key().hi == hash; ++it) {
+    ++probe_cmps_;
     if (rows_.Row(it.value()) == tuple) {
       CacheFill(hash, it.value());
       return false;
@@ -121,10 +183,10 @@ bool RecursiveTable::MergeMinMax(const uint64_t* wire) {
     }
   }
 
-  uint64_t* row_slot = group_index_.FindFirst(group);
+  uint64_t* row_slot = FindGroup(group);
   if (row_slot == nullptr) {
     const uint64_t row_id = AppendRow(wire);
-    group_index_.Insert(group, row_id);
+    InsertGroup(group, row_id);
     CacheFill(ghash, row_id);
     PushDelta(row_id);
     return true;
@@ -142,18 +204,24 @@ bool RecursiveTable::MergeCount(const uint64_t* wire) {
   const uint64_t group = spec_.group_arity > 0 ? wire[0] : 0;
   const uint64_t contributor = wire[spec_.group_arity];
   const U128 contrib_key{group, contributor};
-  if (contrib_index_.FindFirst(contrib_key) != nullptr) return false;
-  contrib_index_.Insert(contrib_key, 1);
+  if (use_flat_) {
+    bool inserted = false;
+    flat_contrib_.FindOrInsert(contrib_key, 1, &inserted);
+    if (!inserted) return false;  // Contributor already counted.
+  } else {
+    if (contrib_index_.FindFirst(contrib_key) != nullptr) return false;
+    contrib_index_.Insert(contrib_key, 1);
+  }
 
   const U128 gkey{group, 0};
   const uint32_t value_col = spec_.stored_arity - 1;
-  uint64_t* row_slot = group_index_.FindFirst(gkey);
+  uint64_t* row_slot = FindGroup(gkey);
   if (row_slot == nullptr) {
     uint64_t stored[kMaxArity];
     stored[0] = group;
     stored[value_col] = WordFromInt(1);
     const uint64_t row_id = AppendRow(stored);
-    group_index_.Insert(gkey, row_id);
+    InsertGroup(gkey, row_id);
     PushDelta(row_id);
     return true;
   }
@@ -176,9 +244,17 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
 
   double delta_d = 0.0;
   int64_t delta_i = 0;
-  uint64_t* last = contrib_index_.FindFirst(contrib_key);
-  if (last == nullptr) {
-    contrib_index_.Insert(contrib_key, value);
+  uint64_t* last = nullptr;
+  bool first_contribution;
+  if (use_flat_) {
+    // One probe both finds and (if absent) inserts the contributor.
+    last = flat_contrib_.FindOrInsert(contrib_key, value, &first_contribution);
+  } else {
+    last = contrib_index_.FindFirst(contrib_key);
+    first_contribution = last == nullptr;
+    if (first_contribution) contrib_index_.Insert(contrib_key, value);
+  }
+  if (first_contribution) {
     if (is_double) {
       delta_d = DoubleFromWord(value);
     } else {
@@ -197,14 +273,14 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
 
   const U128 gkey{group, 0};
   const uint32_t value_col = spec_.stored_arity - 1;
-  uint64_t* row_slot = group_index_.FindFirst(gkey);
+  uint64_t* row_slot = FindGroup(gkey);
   if (row_slot == nullptr) {
     uint64_t stored[kMaxArity];
     stored[0] = group;
     stored[value_col] =
         is_double ? WordFromDouble(delta_d) : WordFromInt(delta_i);
     const uint64_t row_id = AppendRow(stored);
-    group_index_.Insert(gkey, row_id);
+    InsertGroup(gkey, row_id);
     PushDelta(row_id);
     return true;
   }
@@ -223,7 +299,7 @@ bool RecursiveTable::MergeWire(const uint64_t* wire) {
   ++merges_;
   switch (spec_.func) {
     case AggFunc::kNone:
-      return MergeNone(wire);
+      return MergeNone(wire, TupleRef{wire, spec_.stored_arity}.Hash());
     case AggFunc::kMin:
     case AggFunc::kMax:
       return MergeMinMax(wire);
@@ -287,7 +363,9 @@ void RecursiveTable::MergeMinMaxBatchByScan(
     }
     stored[value_col] = pending.value;
     const uint64_t row_id = AppendRow(stored);
-    group_index_.Insert(GroupKey(stored), row_id);
+    // Keep whichever backend's group index is active coherent, so a later
+    // indexed merge (or cache miss fallback) still finds this group.
+    InsertGroup(GroupKey(stored), row_id);
     PushDelta(row_id);
   }
 }
@@ -297,7 +375,24 @@ void RecursiveTable::MergeBatch(const std::vector<TupleBuf>& wires) {
   if (wires.empty()) return;
   if (spec_.func == AggFunc::kNone) {
     // Plain dedup: every accept is a distinct new row, no amplification.
-    for (const TupleBuf& w : wires) MergeWire(w.v);
+    // Pipelined probe: hash the whole batch up front, then prefetch each
+    // tuple's home slot kPrefetchDistance merges ahead of the
+    // compare/insert pass, so the probe's dependent DRAM loads overlap
+    // instead of serializing (hash-join probe pipelining). A mid-batch
+    // rehash only strands the few in-flight prefetches — later ones use
+    // the new mask automatically.
+    const size_t n = wires.size();
+    batch_hashes_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch_hashes_[i] = TupleRef{wires[i].v, spec_.stored_arity}.Hash();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (use_flat_ && i + kPrefetchDistance < n) {
+        exist_set_.Prefetch(batch_hashes_[i + kPrefetchDistance]);
+      }
+      ++merges_;
+      MergeNone(wires[i].v, batch_hashes_[i]);
+    }
     return;
   }
   // Aggregates: collect changed rows across the batch and emit each into

@@ -10,6 +10,8 @@
 #include "planner/physical_plan.h"
 #include "storage/btree.h"
 #include "storage/dyn_index.h"
+#include "storage/flat_map.h"
+#include "storage/flat_set.h"
 #include "storage/relation.h"
 #include "storage/tuple.h"
 
@@ -22,12 +24,21 @@ namespace dcdatalog {
 /// and the delta δR_i feeding the next local iteration.
 ///
 /// Merge semantics by aggregate function (wire → stored):
-///   none:   insert if the full tuple is new (B+-tree existence index).
+///   none:   insert if the full tuple is new (existence index).
 ///   min/max: group key (≤ 2 columns) → keep best value, update in place.
 ///   count:  (group ≤ 1 column, contributor) → count distinct contributors.
 ///   sum:    (group ≤ 1 column, contributor, value) → each contributor's
 ///           latest value replaces its previous one (the PageRank pattern);
 ///           changes below EngineOptions::sum_epsilon do not re-enter δ.
+///
+/// Two interchangeable index backends implement those semantics
+/// (EngineOptions::merge_index_backend): the default `flat` backend uses
+/// open-addressed structures (FlatTupleSet for kNone existence,
+/// FlatGroupMap for group → row and contributor → value) with a
+/// prefetch-pipelined kNone MergeBatch; the `btree` backend keeps the
+/// original B+-tree indexes as the Table 4 ablation baseline. Both produce
+/// identical stored rows and deltas (cross-checked by the differential
+/// fuzzer's backend axis).
 ///
 /// Every state change appends the new stored row to the delta. Not
 /// internally synchronized — each worker owns its tables.
@@ -46,6 +57,12 @@ class RecursiveTable {
   /// Merges one wire tuple through the indexed path. Returns true if the
   /// table changed (and the delta grew).
   bool MergeWire(const uint64_t* wire);
+
+  /// EDB-cardinality presizing hint: reserves row storage, the join index,
+  /// and the active flat merge structures for ~`expected_rows` entries so
+  /// the first iterations of a TC-style run don't pay growth rehashes.
+  /// A hint, not a cap — structures still grow past it on demand.
+  void ReserveHint(uint64_t expected_rows);
 
   // --- Delta (δR_i) ---
   const std::vector<TupleBuf>& delta() const { return delta_; }
@@ -87,6 +104,14 @@ class RecursiveTable {
   uint64_t accepts() const { return accepts_; }
   uint64_t cache_hits() const { return cache_hits_; }
 
+  /// Key/tuple comparisons spent probing the merge indexes (collision
+  /// resolution work across both backends) — the engine surfaces the sum
+  /// as EvalStats::merge_probe_cmps.
+  uint64_t merge_probe_cmps() const {
+    return probe_cmps_ + exist_set_.probe_cmps() + flat_group_.probe_cmps() +
+           flat_contrib_.probe_cmps();
+  }
+
  private:
   U128 GroupKey(const uint64_t* wire) const {
     U128 k;
@@ -106,10 +131,16 @@ class RecursiveTable {
   /// the iteration count (catastrophic for sum-in-recursion).
   void PushDelta(uint64_t row_id);
 
-  bool MergeNone(const uint64_t* wire);
+  bool MergeNone(const uint64_t* wire, uint64_t hash);
   bool MergeMinMax(const uint64_t* wire);
   bool MergeCount(const uint64_t* wire);
   bool MergeSum(const uint64_t* wire);
+
+  /// Backend-dispatched group-index primitives shared by the aggregate
+  /// merge paths (and the scan-ablation path, which must keep whichever
+  /// index is active coherent for later indexed lookups).
+  uint64_t* FindGroup(const U128& group);
+  void InsertGroup(const U128& group, uint64_t row_id);
 
   /// Linear-scan merge for min/max batches (ablation path).
   void MergeMinMaxBatchByScan(const std::vector<TupleBuf>& wires);
@@ -123,11 +154,13 @@ class RecursiveTable {
   const bool use_join_index_;
   const bool use_agg_index_;
   const bool use_cache_;
+  const bool use_flat_;
   const double sum_epsilon_;
 
   Relation rows_;
   std::vector<TupleBuf> delta_;
 
+  // --- btree backend (Table 4 ablation baseline) ---
   // For kNone: key = (tuple hash, row id) — exact after row comparison.
   // For aggregates: key = group key, value = row id.
   BPlusTree<U128, uint64_t> group_index_;
@@ -135,7 +168,16 @@ class RecursiveTable {
   // (sum) or unused (count).
   BPlusTree<U128, uint64_t> contrib_index_;
 
+  // --- flat backend (default hot path) ---
+  FlatTupleSet exist_set_;    // kNone existence, keyed (hash, row id).
+  FlatGroupMap flat_group_;   // aggregate group key → row id.
+  FlatGroupMap flat_contrib_; // count/sum (group, contributor) → last value.
+
   DynIndex join_index_;
+
+  // Per-batch hash scratch for the prefetch-pipelined kNone merge; member
+  // so steady-state batches never allocate.
+  std::vector<uint64_t> batch_hashes_;
 
   std::vector<uint64_t> cache_slots_;  // row id + 1; 0 = empty.
   uint64_t cache_mask_ = 0;
@@ -153,6 +195,8 @@ class RecursiveTable {
   uint64_t merges_ = 0;
   uint64_t accepts_ = 0;
   uint64_t cache_hits_ = 0;
+  uint64_t probe_cmps_ = 0;  // btree-path comparisons; flat counts live
+                             // inside the flat structures.
 };
 
 }  // namespace dcdatalog

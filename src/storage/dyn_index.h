@@ -1,6 +1,7 @@
 #ifndef DCDATALOG_STORAGE_DYN_INDEX_H_
 #define DCDATALOG_STORAGE_DYN_INDEX_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -22,13 +23,27 @@ class DynIndex {
   }
 
   uint64_t size() const { return keys_.size(); }
+  uint64_t bucket_count() const { return buckets_.size(); }
+
+  /// Presizes for ~`expected` entries (EDB cardinality hint): the bucket
+  /// array grows to the next power of two ≥ expected and the entry arrays
+  /// reserve, so incremental insertion up to the hint never pays an O(n)
+  /// chain rebuild. Existing chains are rebuilt once here; never shrinks.
+  void Reserve(uint64_t expected) {
+    keys_.reserve(expected);
+    row_ids_.reserve(expected);
+    next_.reserve(expected);
+    const uint64_t wanted =
+        std::bit_ceil(std::max<uint64_t>(kInitialBuckets, expected));
+    if (wanted > buckets_.size()) Rebuild(wanted);
+  }
 
   void Insert(uint64_t key, uint64_t row_id) {
     keys_.push_back(key);
     row_ids_.push_back(row_id);
     next_.push_back(kNil);
     if (keys_.size() > buckets_.size()) {
-      Grow();  // Rebuilds every chain, including the new entry's.
+      Rebuild(buckets_.size() * 2);  // Re-chains everything, incl. the new entry.
       return;
     }
     const uint32_t e = static_cast<uint32_t>(keys_.size() - 1);
@@ -56,8 +71,7 @@ class DynIndex {
   static constexpr uint32_t kNil = UINT32_MAX;
   static constexpr uint64_t kInitialBuckets = 64;
 
-  void Grow() {
-    const uint64_t new_buckets = buckets_.size() * 2;
+  void Rebuild(uint64_t new_buckets) {
     buckets_.assign(new_buckets, kNil);
     mask_ = new_buckets - 1;
     for (uint32_t e = 0; e < keys_.size(); ++e) {

@@ -1,0 +1,118 @@
+#ifndef DCDATALOG_STORAGE_FLAT_MAP_H_
+#define DCDATALOG_STORAGE_FLAT_MAP_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/btree.h"  // U128
+
+namespace dcdatalog {
+
+/// Flat open-addressed map from a 128-bit key to one 64-bit word — the
+/// cache-friendly replacement for the merge path's B+-tree indexes:
+///   min/max:   group key        → row id of the group's current row
+///   count/sum: (group, contrib) → contributor's last value word
+/// Linear probing over 32-byte slots (key + value + occupancy, two per
+/// cache line); tombstone-free (merge never deletes); grows at ~60 % load.
+/// Values are updated in place through the returned pointer, which stays
+/// valid until the next FindOrInsert or Reserve (those may rehash).
+///
+/// Not internally synchronized — one per worker partition.
+class FlatGroupMap {
+ public:
+  FlatGroupMap() {
+    slots_.assign(kInitialSlots, Slot{});
+    mask_ = kInitialSlots - 1;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t slot_count() const { return slots_.size(); }
+
+  /// Key comparisons performed while probing occupied slots (feeds the
+  /// merge_probe_cmps engine counter).
+  uint64_t probe_cmps() const { return probe_cmps_; }
+
+  /// Presizes so `expected` entries stay under the 60 % growth threshold.
+  /// Slot count rounds up to a power of two; never shrinks.
+  void Reserve(uint64_t expected) {
+    const uint64_t wanted =
+        std::bit_ceil(std::max<uint64_t>(kInitialSlots, expected * 2));
+    if (wanted > slots_.size()) Rehash(wanted);
+  }
+
+  void Prefetch(const U128& key) const {
+    __builtin_prefetch(&slots_[Hash(key) & mask_], 0, 3);
+  }
+
+  /// Returns a pointer to the value stored under `key`, or nullptr.
+  uint64_t* Find(const U128& key) {
+    for (uint64_t s = Hash(key) & mask_;; s = (s + 1) & mask_) {
+      Slot& slot = slots_[s];
+      if (!slot.used) return nullptr;
+      ++probe_cmps_;
+      if (slot.key == key) return &slot.value;
+    }
+  }
+
+  const uint64_t* Find(const U128& key) const {
+    return const_cast<FlatGroupMap*>(this)->Find(key);
+  }
+
+  /// Returns a pointer to the value under `key`, inserting `value` first if
+  /// the key is absent; `*inserted` reports which happened. Growth (if due)
+  /// runs before the probe so the returned pointer survives the call.
+  uint64_t* FindOrInsert(const U128& key, uint64_t value, bool* inserted) {
+    if ((size_ + 1) * 5 >= slots_.size() * 3) Rehash(slots_.size() * 2);
+    for (uint64_t s = Hash(key) & mask_;; s = (s + 1) & mask_) {
+      Slot& slot = slots_[s];
+      if (!slot.used) {
+        slot.key = key;
+        slot.value = value;
+        slot.used = 1;
+        ++size_;
+        *inserted = true;
+        return &slot.value;
+      }
+      ++probe_cmps_;
+      if (slot.key == key) {
+        *inserted = false;
+        return &slot.value;
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t kInitialSlots = 64;
+
+  struct Slot {
+    U128 key;
+    uint64_t value = 0;
+    uint64_t used = 0;  // Full word keeps the slot 32 B / naturally aligned.
+  };
+
+  static uint64_t Hash(const U128& key) { return HashCombine(key.hi, key.lo); }
+
+  void Rehash(uint64_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    for (const Slot& slot : old) {
+      if (!slot.used) continue;
+      uint64_t s = Hash(slot.key) & mask_;
+      while (slots_[s].used) s = (s + 1) & mask_;
+      slots_[s] = slot;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+  mutable uint64_t probe_cmps_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_FLAT_MAP_H_

@@ -1,0 +1,111 @@
+#ifndef DCDATALOG_STORAGE_FLAT_SET_H_
+#define DCDATALOG_STORAGE_FLAT_SET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace dcdatalog {
+
+/// Tuple-existence set over the rows of a backing Relation: the flat
+/// merge-path dedup structure (semi-naive set difference for kNone
+/// recursion). Open addressing with linear probing over 16-byte
+/// (hash, row_id) slots — the cached hash lets a probe reject a colliding
+/// slot without dereferencing the backing row, and lets growth rehash
+/// without touching row storage at all. Tombstone-free (merge never
+/// deletes); grows at ~60 % load; `Reserve` presizes from EDB cardinality
+/// hints so first-iteration TC runs don't pay a rehash storm.
+///
+/// The caller supplies the hash (RecursiveTable hashes each wire batch up
+/// front for prefetch pipelining); tests exploit this to force collision
+/// chains with equal hashes but distinct tuples.
+///
+/// Not internally synchronized — one per worker partition.
+class FlatTupleSet {
+ public:
+  static constexpr uint64_t kNotFound = UINT64_MAX;
+
+  explicit FlatTupleSet(const Relation* backing) : backing_(backing) {
+    slots_.assign(kInitialSlots, Slot{});
+    mask_ = kInitialSlots - 1;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t slot_count() const { return slots_.size(); }
+
+  /// Full-tuple comparisons performed while probing (collision-resolution
+  /// work; feeds the merge_probe_cmps engine counter).
+  uint64_t probe_cmps() const { return probe_cmps_; }
+
+  /// Presizes so `expected` entries stay under the 60 % growth threshold.
+  /// Slot count rounds up to a power of two; never shrinks.
+  void Reserve(uint64_t expected) {
+    const uint64_t wanted =
+        std::bit_ceil(std::max<uint64_t>(kInitialSlots, expected * 2));
+    if (wanted > slots_.size()) Rehash(wanted);
+  }
+
+  /// Prefetches the home slot for `hash` — issued N tuples ahead in the
+  /// pipelined merge so the dependent load overlaps earlier probes.
+  void Prefetch(uint64_t hash) const {
+    __builtin_prefetch(&slots_[hash & mask_], 0 /*read*/, 3 /*high locality*/);
+  }
+
+  /// Returns the row id of the stored tuple equal to `tuple`, or kNotFound.
+  /// `hash` must be `tuple.Hash()` (or the caller's consistent choice).
+  uint64_t Find(uint64_t hash, TupleRef tuple) const {
+    for (uint64_t s = hash & mask_;; s = (s + 1) & mask_) {
+      const Slot& slot = slots_[s];
+      if (slot.row == kEmptyRow) return kNotFound;
+      if (slot.hash == hash) {
+        ++probe_cmps_;
+        if (backing_->Row(slot.row) == tuple) return slot.row;
+      }
+    }
+  }
+
+  /// Inserts `row_id` under `hash`. The caller must have established via
+  /// Find that no equal tuple is present (merge probes exactly once).
+  void Insert(uint64_t hash, uint64_t row_id) {
+    uint64_t s = hash & mask_;
+    while (slots_[s].row != kEmptyRow) s = (s + 1) & mask_;
+    slots_[s] = Slot{hash, row_id};
+    ++size_;
+    if (size_ * 5 >= slots_.size() * 3) Rehash(slots_.size() * 2);
+  }
+
+ private:
+  static constexpr uint64_t kEmptyRow = UINT64_MAX;
+  static constexpr uint64_t kInitialSlots = 64;
+
+  struct Slot {
+    uint64_t hash = 0;
+    uint64_t row = kEmptyRow;
+  };
+
+  void Rehash(uint64_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    mask_ = new_slots - 1;
+    for (const Slot& slot : old) {
+      if (slot.row == kEmptyRow) continue;
+      uint64_t s = slot.hash & mask_;
+      while (slots_[s].row != kEmptyRow) s = (s + 1) & mask_;
+      slots_[s] = slot;
+    }
+  }
+
+  const Relation* backing_;
+  std::vector<Slot> slots_;
+  uint64_t mask_ = 0;
+  uint64_t size_ = 0;
+  mutable uint64_t probe_cmps_ = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_STORAGE_FLAT_SET_H_

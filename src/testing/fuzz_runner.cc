@@ -98,6 +98,7 @@ RunOutcome RunEngineOnce(const FuzzCase& c, const RunConfig& config,
   EngineOptions options;
   options.num_workers = config.num_workers;
   options.coordination = config.mode;
+  options.merge_index_backend = config.merge_backend;
   options.max_global_iterations = config.max_global_iterations;
   DCDatalog db(options);
   Status load = c.Load(&db);
@@ -132,6 +133,7 @@ RunOutcome RunEngineTraced(const FuzzCase& c, const RunConfig& config,
   EngineOptions options;
   options.num_workers = config.num_workers;
   options.coordination = config.mode;
+  options.merge_index_backend = config.merge_backend;
   options.max_global_iterations = config.max_global_iterations;
   options.enable_trace = true;
   DCDatalog db(options);

@@ -391,11 +391,12 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
   s.merges = 110;
   s.accepts = 111;
   s.cache_hits = 112;
+  s.merge_probe_cmps = 115;
   s.idle_wait_seconds = 113.25;
   s.trace_dropped = 114;
   const std::string str = s.ToString();
   const auto counters = s.Counters();
-  ASSERT_EQ(counters.size(), 14u)
+  ASSERT_EQ(counters.size(), 15u)
       << "EvalStats grew a field: stamp it above and list it in Counters()";
   std::set<double> sentinels;
   for (const auto& [name, value] : counters) {
@@ -403,9 +404,9 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
         << "counter missing from ToString: " << name;
     sentinels.insert(value);
   }
-  // All 14 sentinels distinct → every field is wired to its own name, not
+  // All 15 sentinels distinct → every field is wired to its own name, not
   // copy-pasted from a neighbour.
-  EXPECT_EQ(sentinels.size(), 14u);
+  EXPECT_EQ(sentinels.size(), 15u);
   EXPECT_NE(str.find("tuples_emitted"), std::string::npos);
   EXPECT_NE(str.find("107"), std::string::npos);
 }

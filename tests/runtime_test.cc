@@ -117,16 +117,19 @@ AggSpec SpecFor(AggFunc func, uint32_t stored_arity,
   return s;
 }
 
-/// Parameterized over (aggregate index on/off, existence cache on/off) —
-/// the Table 4 ablation axes. Results must be identical in all modes.
+/// Parameterized over (aggregate index on/off, existence cache on/off,
+/// merge backend flat/btree) — the Table 4 ablation axes. Results must be
+/// identical in all modes.
 class RecursiveTableModes
-    : public ::testing::TestWithParam<std::tuple<bool, bool>> {
+    : public ::testing::TestWithParam<
+          std::tuple<bool, bool, MergeIndexBackend>> {
  protected:
   EngineOptions Opts() {
     EngineOptions o;
     o.enable_aggregate_index = std::get<0>(GetParam());
     o.enable_existence_cache = std::get<1>(GetParam());
     o.existence_cache_slots = 64;  // Tiny: force evictions.
+    o.merge_index_backend = std::get<2>(GetParam());
     return o;
   }
 };
@@ -317,12 +320,87 @@ TEST_P(RecursiveTableModes, RandomizedMinParityWithOracle) {
 
 INSTANTIATE_TEST_SUITE_P(
     Ablations, RecursiveTableModes,
-    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
-    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(MergeIndexBackend::kFlat,
+                                         MergeIndexBackend::kBtree)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<bool, bool, MergeIndexBackend>>& info) {
       std::string name = std::get<0>(info.param) ? "AggIndex" : "LinearScan";
       name += std::get<1>(info.param) ? "_Cache" : "_NoCache";
+      name += std::get<2>(info.param) == MergeIndexBackend::kFlat ? "_Flat"
+                                                                  : "_Btree";
       return name;
     });
+
+TEST_P(RecursiveTableModes, NoneGrowsAcrossLoadBoundaryMidBatch) {
+  // One MergeBatch large enough to push the flat existence set across its
+  // 60% growth boundary several times mid-batch (64 initial slots → growth
+  // at 39, 77, ... entries). In-flight prefetches at the rehash point go
+  // stale; dedup must not. Duplicates are interleaved so probes land both
+  // before and after each rehash.
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kNone, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> batch;
+  std::set<std::pair<uint64_t, uint64_t>> oracle;
+  Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t a = rng.Uniform(40);
+    uint64_t b = rng.Uniform(40);  // 1600-pair universe: dense duplicates.
+    batch.push_back({a, b});
+    oracle.insert({a, b});
+  }
+  t.MergeBatch(batch);
+  ASSERT_EQ(t.rows().size(), oracle.size());
+  EXPECT_EQ(t.delta_size(), oracle.size());
+  for (uint64_t r = 0; r < t.rows().size(); ++r) {
+    TupleRef row = t.rows().Row(r);
+    ASSERT_TRUE(oracle.count({row[0], row[1]}));
+  }
+  // Re-merging the same batch accepts nothing.
+  t.ClearDelta();
+  t.MergeBatch(batch);
+  EXPECT_EQ(t.rows().size(), oracle.size());
+  EXPECT_EQ(t.delta_size(), 0u);
+}
+
+TEST_P(RecursiveTableModes, MinInPlaceUpdateKeepsExistenceCacheCoherent) {
+  // A min update rewrites the stored row in place. A stale existence-cache
+  // entry pointing at the old bytes must not make the table drop or
+  // resurrect values afterwards: revisit the same group with worse, equal,
+  // and better values after each in-place rewrite.
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kMin, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> b1 = {{1, WordFromInt(50)}};
+  t.MergeBatch(b1);
+  t.ClearDelta();
+  for (int64_t v : {40, 40, 45, 30, 50, 30, 20}) {
+    std::vector<TupleBuf> b = {{1, WordFromInt(v)}};
+    t.MergeBatch(b);
+  }
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(IntFromWord(t.rows().Row(0)[1]), 20);
+  // The delta stream, deduped per batch, must never have gone backwards.
+  t.ClearDelta();
+  std::vector<TupleBuf> worse = {{1, WordFromInt(21)}};
+  t.MergeBatch(worse);
+  EXPECT_EQ(t.delta_size(), 0u);
+}
+
+TEST_P(RecursiveTableModes, ProbeCmpsCounterAdvances) {
+  RecursiveTable t("r", Schema::Ints(2), SpecFor(AggFunc::kNone, 2), 0,
+                   false, Opts());
+  std::vector<TupleBuf> batch;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    batch.push_back({rng.Uniform(30), rng.Uniform(30)});
+  }
+  t.MergeBatch(batch);
+  // Dense duplicates guarantee occupied-slot comparisons on both backends;
+  // the exact count is backend-dependent, but it must be nonzero and no
+  // smaller than the number of accepted re-probes that found a match
+  // outside the existence cache.
+  EXPECT_GT(t.merge_probe_cmps(), 0u);
+}
 
 TEST(RecursiveTableTest, CacheHitsAreCounted) {
   EngineOptions opts;

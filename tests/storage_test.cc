@@ -1,5 +1,5 @@
 // Unit and property tests for src/storage: schema, relation, B+-tree,
-// hash index, dynamic index, tuple set, catalog.
+// hash index, dynamic index, flat merge structures, catalog.
 
 #include <gtest/gtest.h>
 
@@ -11,11 +11,12 @@
 #include "storage/btree.h"
 #include "storage/catalog.h"
 #include "storage/dyn_index.h"
+#include "storage/flat_map.h"
+#include "storage/flat_set.h"
 #include "storage/hash_index.h"
 #include "storage/relation.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
-#include "storage/tuple_set.h"
 
 namespace dcdatalog {
 namespace {
@@ -263,34 +264,170 @@ TEST(DynIndexTest, IncrementalInsertWithGrowth) {
   EXPECT_EQ(index.size(), 3000u);
 }
 
-// --- TupleSet ----------------------------------------------------------
+TEST(DynIndexTest, ReservePresizesBuckets) {
+  DynIndex index;
+  const uint64_t initial = index.bucket_count();
+  index.Reserve(3000);
+  EXPECT_EQ(index.bucket_count(), 4096u);  // bit_ceil(3000).
+  index.Reserve(10);
+  EXPECT_EQ(index.bucket_count(), 4096u);  // Never shrinks.
+  std::multimap<uint64_t, uint64_t> oracle;
+  Rng rng(13);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    uint64_t k = rng.Uniform(500);
+    index.Insert(k, i);
+    oracle.emplace(k, i);
+  }
+  // Insertion up to the hint never triggered an incremental rebuild.
+  EXPECT_EQ(index.bucket_count(), 4096u);
+  EXPECT_GT(index.bucket_count(), initial);
+  for (uint64_t k = 0; k < 500; ++k) {
+    std::multiset<uint64_t> expect;
+    auto [lo, hi] = oracle.equal_range(k);
+    for (auto it = lo; it != hi; ++it) expect.insert(it->second);
+    std::multiset<uint64_t> got;
+    index.ForEachMatch(k, [&](uint64_t row) {
+      got.insert(row);
+      return true;
+    });
+    ASSERT_EQ(got, expect);
+  }
+}
 
-TEST(TupleSetTest, DeduplicatesFullTuples) {
+// --- FlatTupleSet ------------------------------------------------------
+
+TEST(FlatTupleSetTest, DeduplicatesFullTuples) {
   Relation rel("r", Schema::Ints(2));
-  TupleSet set(&rel);
-  uint64_t r1 = rel.Append({1, 2});
-  EXPECT_TRUE(set.Insert(r1));
-  uint64_t r2 = rel.Append({1, 2});
-  EXPECT_FALSE(set.Insert(r2));  // Same tuple.
-  uint64_t r3 = rel.Append({2, 1});
-  EXPECT_TRUE(set.Insert(r3));
+  FlatTupleSet set(&rel);
   uint64_t probe[] = {1, 2};
-  EXPECT_TRUE(set.Contains(TupleRef{probe, 2}));
-  probe[1] = 3;
-  EXPECT_FALSE(set.Contains(TupleRef{probe, 2}));
+  const TupleRef t12{probe, 2};
+  const uint64_t h12 = t12.Hash();
+  EXPECT_EQ(set.Find(h12, t12), FlatTupleSet::kNotFound);
+  set.Insert(h12, rel.Append(t12));
+  EXPECT_EQ(set.Find(h12, t12), 0u);
+  uint64_t other[] = {2, 1};
+  const TupleRef t21{other, 2};
+  EXPECT_EQ(set.Find(t21.Hash(), t21), FlatTupleSet::kNotFound);
+  set.Insert(t21.Hash(), rel.Append(t21));
+  EXPECT_EQ(set.Find(t21.Hash(), t21), 1u);
   EXPECT_EQ(set.size(), 2u);
 }
 
-TEST(TupleSetTest, GrowsPastInitialCapacity) {
+// Distinct tuples deliberately inserted under the SAME hash must form a
+// probe chain: Find has to dereference the backing rows to tell them
+// apart, and each full-tuple comparison shows up in probe_cmps().
+TEST(FlatTupleSetTest, EqualHashDistinctTuplesChain) {
   Relation rel("r", Schema::Ints(1));
-  TupleSet set(&rel);
+  FlatTupleSet set(&rel);
+  const uint64_t kHash = 42;
+  for (uint64_t i = 0; i < 16; ++i) {
+    uint64_t v[] = {i};
+    set.Insert(kHash, rel.Append(TupleRef{v, 1}));
+  }
+  EXPECT_EQ(set.size(), 16u);
+  const uint64_t cmps_before = set.probe_cmps();
+  for (uint64_t i = 0; i < 16; ++i) {
+    uint64_t v[] = {i};
+    ASSERT_EQ(set.Find(kHash, TupleRef{v, 1}), i);
+  }
+  // 16 lookups over a 16-long chain: the last lookup alone compares
+  // against every prior entry, so well over 16 comparisons in total.
+  EXPECT_GT(set.probe_cmps() - cmps_before, 16u);
+  uint64_t missing[] = {999};
+  EXPECT_EQ(set.Find(kHash, TupleRef{missing, 1}), FlatTupleSet::kNotFound);
+}
+
+TEST(FlatTupleSetTest, GrowsPastLoadFactorBoundary) {
+  Relation rel("r", Schema::Ints(1));
+  FlatTupleSet set(&rel);
+  const uint64_t initial_slots = set.slot_count();
   for (uint64_t i = 0; i < 10000; ++i) {
-    uint64_t row = rel.Append({i});
-    ASSERT_TRUE(set.Insert(row));
+    uint64_t v[] = {i};
+    const TupleRef t{v, 1};
+    const uint64_t h = t.Hash();
+    ASSERT_EQ(set.Find(h, t), FlatTupleSet::kNotFound);
+    set.Insert(h, rel.Append(t));
   }
   EXPECT_EQ(set.size(), 10000u);
-  uint64_t probe[] = {9999};
-  EXPECT_TRUE(set.Contains(TupleRef{probe, 1}));
+  EXPECT_GT(set.slot_count(), initial_slots);
+  // Growth keeps the table under the 60% trigger.
+  EXPECT_LT(set.size() * 5, set.slot_count() * 3);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    uint64_t v[] = {i};
+    const TupleRef t{v, 1};
+    ASSERT_EQ(set.Find(t.Hash(), t), i);
+  }
+}
+
+TEST(FlatTupleSetTest, ReserveRoundsUpToPowerOfTwo) {
+  Relation rel("r", Schema::Ints(1));
+  FlatTupleSet set(&rel);
+  set.Reserve(1000);
+  // 1000 expected rows -> 2000 slots -> next power of two, 2048.
+  EXPECT_EQ(set.slot_count(), 2048u);
+  // Reserve never shrinks.
+  set.Reserve(10);
+  EXPECT_EQ(set.slot_count(), 2048u);
+  // A presized set absorbs `expected` inserts without rehashing (<=50%
+  // load never crosses the 60% growth trigger).
+  for (uint64_t i = 0; i < 1000; ++i) {
+    uint64_t v[] = {i};
+    const TupleRef t{v, 1};
+    set.Insert(t.Hash(), rel.Append(t));
+  }
+  EXPECT_EQ(set.slot_count(), 2048u);
+}
+
+// --- FlatGroupMap ------------------------------------------------------
+
+TEST(FlatGroupMapTest, FindOrInsertAndInPlaceUpdate) {
+  FlatGroupMap map;
+  bool inserted = false;
+  uint64_t* v = map.FindOrInsert(U128{1, 2}, 10, &inserted);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 10u);
+  v = map.FindOrInsert(U128{1, 2}, 99, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*v, 10u);  // Existing value untouched on hit.
+  *v = 77;             // In-place update through the returned pointer.
+  EXPECT_EQ(*map.Find(U128{1, 2}), 77u);
+  EXPECT_EQ(map.Find(U128{2, 1}), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatGroupMapTest, GrowthPreservesEntries) {
+  FlatGroupMap map;
+  std::map<uint64_t, uint64_t> oracle;
+  Rng rng(7);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const uint64_t k = rng.Uniform(1 << 12);
+    bool inserted = false;
+    uint64_t* v = map.FindOrInsert(U128{k, k + 1}, i, &inserted);
+    auto it = oracle.find(k);
+    if (it == oracle.end()) {
+      ASSERT_TRUE(inserted);
+      oracle.emplace(k, i);
+    } else {
+      ASSERT_FALSE(inserted);
+      ASSERT_EQ(*v, it->second);
+    }
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+  EXPECT_LT(map.size() * 5, map.slot_count() * 3);
+  for (const auto& [k, val] : oracle) {
+    const uint64_t* v = map.Find(U128{k, k + 1});
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(*v, val);
+  }
+}
+
+TEST(FlatGroupMapTest, ReserveRoundsUpToPowerOfTwo) {
+  FlatGroupMap map;
+  map.Reserve(300);
+  EXPECT_EQ(map.slot_count(), 1024u);  // 300*2 -> 600 -> 1024.
+  map.Reserve(5);
+  EXPECT_EQ(map.slot_count(), 1024u);  // Never shrinks.
 }
 
 // --- Catalog -----------------------------------------------------------

@@ -21,6 +21,8 @@
 //   --mode global|ssp|dws
 //   --slack N          SSP slack (default 5)
 //   --no-agg-index --no-cache --no-partial-agg   disable §6.2/Fig.7 opts
+//   --merge-index-backend flat|btree   merge-path index family (default
+//                      flat; btree is the Table 4 ablation baseline)
 //   --out pred=path    write one predicate to a file (repeatable)
 //   --stats            print EvalStats
 //   --seed N           generator seed (default 42)
@@ -139,6 +141,18 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       opts->engine.enable_existence_cache = false;
     } else if (arg == "--no-partial-agg") {
       opts->engine.enable_partial_aggregation = false;
+    } else if (arg == "--merge-index-backend") {
+      const char* v = next();
+      if (v && std::strcmp(v, "flat") == 0) {
+        opts->engine.merge_index_backend = MergeIndexBackend::kFlat;
+      } else if (v && std::strcmp(v, "btree") == 0) {
+        opts->engine.merge_index_backend = MergeIndexBackend::kBtree;
+      } else {
+        std::fprintf(stderr,
+                     "--merge-index-backend expects flat|btree, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
     } else if (arg == "--stats") {
       opts->stats = true;
     } else if (arg == "--seed") {

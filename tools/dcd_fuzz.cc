@@ -19,6 +19,9 @@
 //   --start-seed=N     first seed (default 1)
 //   --modes=a,b        subset of global,ssp,dws (default all)
 //   --workers=a,b      worker counts per case (default 1,2,4)
+//   --backends=a,b     subset of flat,btree — the merge-index backends each
+//                      case runs under (default both, so the two backends
+//                      are diffed against the same oracle)
 //   --max-vertices=N   EDB size cap for the generator (default 60)
 //   --timeout-ms=N     per-run wall clock before a child counts as hung
 //                      (default 20000)
@@ -117,6 +120,8 @@ struct FuzzFlags {
       CoordinationMode::kGlobal, CoordinationMode::kSsp,
       CoordinationMode::kDws};
   std::vector<uint32_t> workers = {1, 2, 4};
+  std::vector<MergeIndexBackend> backends = {MergeIndexBackend::kFlat,
+                                             MergeIndexBackend::kBtree};
   uint64_t max_vertices = 60;
   uint64_t timeout_ms = 20000;
   uint64_t max_iters = 200000;
@@ -152,6 +157,26 @@ bool ParseModes(const std::string& list, std::vector<CoordinationMode>* out) {
       out->push_back(CoordinationMode::kSsp);
     } else if (m == "dws") {
       out->push_back(CoordinationMode::kDws);
+    } else {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseBackends(const std::string& list,
+                   std::vector<MergeIndexBackend>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string b = list.substr(pos, comma - pos);
+    if (b == "flat") {
+      out->push_back(MergeIndexBackend::kFlat);
+    } else if (b == "btree") {
+      out->push_back(MergeIndexBackend::kBtree);
     } else {
       return false;
     }
@@ -202,6 +227,8 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       if (!ParseModes(v, &flags->modes)) return false;
     } else if ((v = value("--workers"))) {
       if (!ParseWorkers(v, &flags->workers)) return false;
+    } else if ((v = value("--backends"))) {
+      if (!ParseBackends(v, &flags->backends)) return false;
     } else if ((v = value("--max-vertices"))) {
       flags->max_vertices = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--timeout-ms"))) {
@@ -365,10 +392,11 @@ std::string ModeFlag(CoordinationMode mode) {
 }
 
 RunConfig MakeConfig(const FuzzFlags& flags, CoordinationMode mode,
-                     uint32_t workers) {
+                     uint32_t workers, MergeIndexBackend backend) {
   RunConfig config;
   config.mode = mode;
   config.num_workers = workers;
+  config.merge_backend = backend;
   config.max_global_iterations = flags.max_iters;
   return config;
 }
@@ -382,8 +410,8 @@ size_t RuleCount(const std::string& program) {
 void WriteRepro(const FuzzFlags& flags, const std::string& stem,
                 const FuzzCase& original, RunResult verdict,
                 CoordinationMode mode, uint32_t orig_workers,
-                const FuzzCase& reduced, uint32_t reduced_workers,
-                uint32_t probes) {
+                MergeIndexBackend backend, const FuzzCase& reduced,
+                uint32_t reduced_workers, uint32_t probes) {
   const std::string base = flags.out_dir + "/" + stem;
   {
     std::ofstream dl(base + ".dl");
@@ -399,6 +427,7 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << "seed: " << original.seed << "\n"
          << "verdict: " << RunResultName(verdict) << "\n"
          << "mode: " << ModeName(mode) << "\n"
+         << "merge backend: " << MergeIndexBackendName(backend) << "\n"
          << "workers: " << orig_workers << " (minimized to "
          << reduced_workers << ")\n"
          << "shrink probes: " << probes << "\n"
@@ -413,6 +442,7 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << "  dcd_fuzz --replay=" << base << ".dl --edges=" << base
          << ".edges --modes=" << ModeFlag(mode)
          << " --workers=" << reduced_workers
+         << " --backends=" << MergeIndexBackendName(backend)
          << (flags.chaos ? " --chaos" : "")
          << (flags.inject_bug.empty()
                  ? ""
@@ -429,7 +459,7 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
 /// a crash/hang child simply leaves no trace file behind.
 void DumpReproTrace(const FuzzFlags& flags, const std::string& stem,
                     const FuzzCase& reduced, CoordinationMode mode,
-                    uint32_t workers) {
+                    uint32_t workers, MergeIndexBackend backend) {
   const std::string path = flags.out_dir + "/" + stem + ".trace.json";
   const pid_t pid = fork();
   if (pid < 0) {
@@ -439,7 +469,7 @@ void DumpReproTrace(const FuzzFlags& flags, const std::string& stem,
   if (pid == 0) {
     EvalStats stats;
     const RunOutcome out = testing_gen::RunEngineTraced(
-        reduced, MakeConfig(flags, mode, workers), &stats);
+        reduced, MakeConfig(flags, mode, workers, backend), &stats);
     // Only a completed run yields stats; mismatches complete (the diff is
     // the parent's verdict, not the engine's), so the common failure modes
     // all get a timeline.
@@ -508,11 +538,15 @@ int RunReplay(const FuzzFlags& flags) {
   uint64_t run_index = 0;
   for (CoordinationMode mode : flags.modes) {
     for (uint32_t workers : flags.workers) {
-      const RunResult r = RunIsolated(c, MakeConfig(flags, mode, workers),
-                                      oracle, flags, run_index++);
-      std::printf("replay %s x%u: %s\n", ModeName(mode).c_str(), workers,
-                  RunResultName(r));
-      if (IsFailure(r)) ++failures;
+      for (MergeIndexBackend backend : flags.backends) {
+        const RunResult r =
+            RunIsolated(c, MakeConfig(flags, mode, workers, backend), oracle,
+                        flags, run_index++);
+        std::printf("replay %s x%u %s: %s\n", ModeName(mode).c_str(),
+                    workers, MergeIndexBackendName(backend),
+                    RunResultName(r));
+        if (IsFailure(r)) ++failures;
+      }
     }
   }
   return failures > 0 ? 1 : 0;
@@ -567,14 +601,16 @@ int FuzzMain(int argc, char** argv) {
 
     for (CoordinationMode mode : flags.modes) {
       for (uint32_t workers : flags.workers) {
-        const RunConfig config = MakeConfig(flags, mode, workers);
+      for (MergeIndexBackend backend : flags.backends) {
+        const RunConfig config = MakeConfig(flags, mode, workers, backend);
         const RunResult r =
             RunIsolated(c, config, oracle, flags, run_index++);
         ++runs;
         if (flags.verbose || IsFailure(r)) {
-          std::printf("seed %llu %s x%u: %s\n",
+          std::printf("seed %llu %s x%u %s: %s\n",
                       static_cast<unsigned long long>(seed),
-                      ModeName(mode).c_str(), workers, RunResultName(r));
+                      ModeName(mode).c_str(), workers,
+                      MergeIndexBackendName(backend), RunResultName(r));
         }
         if (!IsFailure(r)) continue;
 
@@ -598,23 +634,26 @@ int FuzzMain(int argc, char** argv) {
           const RunOutcome probe_ref = testing_gen::ComputeOracle(
               candidate, /*max_rounds=*/100000, &probe_oracle);
           if (probe_ref.kind != OutcomeKind::kAgree) return false;
-          const RunConfig probe = MakeConfig(flags, mode, probe_workers);
+          const RunConfig probe =
+              MakeConfig(flags, mode, probe_workers, backend);
           return IsFailure(RunIsolated(candidate, probe, probe_oracle,
                                        flags, run_index++));
         };
-        std::printf("seed %llu %s x%u: shrinking...\n",
+        std::printf("seed %llu %s x%u %s: shrinking...\n",
                     static_cast<unsigned long long>(seed),
-                    ModeName(mode).c_str(), workers);
+                    ModeName(mode).c_str(), workers,
+                    MergeIndexBackendName(backend));
         std::fflush(stdout);
         const testing_gen::MinimizeResult reduced =
             testing_gen::Minimize(c, workers, still_fails);
         const std::string stem = "seed" + std::to_string(seed) + "_" +
                                  ModeFlag(mode) + "_w" +
-                                 std::to_string(workers);
-        WriteRepro(flags, stem, c, r, mode, workers, reduced.reduced,
-                   reduced.num_workers, reduced.probes);
+                                 std::to_string(workers) + "_" +
+                                 MergeIndexBackendName(backend);
+        WriteRepro(flags, stem, c, r, mode, workers, backend,
+                   reduced.reduced, reduced.num_workers, reduced.probes);
         DumpReproTrace(flags, stem, reduced.reduced, mode,
-                       reduced.num_workers);
+                       reduced.num_workers, backend);
         std::printf(
             "seed %llu %s x%u: minimized to %zu rules / %llu edges / %u "
             "workers (%u probes) -> %s/%s.*\n",
@@ -630,6 +669,7 @@ int FuzzMain(int argc, char** argv) {
                       static_cast<unsigned long long>(runs));
           return 1;
         }
+      }
       }
     }
     if (!flags.verbose && (s + 1) % 25 == 0) {

@@ -73,6 +73,8 @@ HOT_PATH_FILES = {
     "src/runtime/expr_eval.cc",
     "src/runtime/base_index_set.h",
     "src/runtime/base_index_set.cc",
+    "src/storage/flat_set.h",
+    "src/storage/flat_map.h",
     "src/core/engine.cc",
     "src/core/dws_controller.h",
     "src/core/dws_controller.cc",
@@ -120,6 +122,11 @@ HOT_LOOP_FUNCTIONS = {
     # of the engine hot loops above; they must stay allocation-free.
     "src/common/trace.h": ["Append"],
     "src/common/histogram.h": ["Add", "BucketOf"],
+    # The flat merge structures run once per wire tuple. Rehash only
+    # resizes its slot vector (not matched by the textual alloc rule);
+    # per-probe allocation would be a real bug.
+    "src/storage/flat_set.h": ["Find", "Insert", "Prefetch"],
+    "src/storage/flat_map.h": ["Find", "FindOrInsert", "Prefetch"],
 }
 
 ALL_RULES = (
