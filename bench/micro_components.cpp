@@ -22,8 +22,14 @@
 #include "concurrent/spsc_queue.h"
 #include "concurrent/termination.h"
 #include "core/dcdatalog.h"
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
 #include "graph/generators.h"
+#include "planner/logical_plan.h"
+#include "runtime/base_index_set.h"
+#include "runtime/batch_pipeline.h"
 #include "runtime/distributor.h"
+#include "runtime/pipeline.h"
 #include "runtime/recursive_table.h"
 #include "storage/btree.h"
 #include "storage/dyn_index.h"
@@ -461,11 +467,13 @@ void BM_LogHistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_LogHistogramAdd);
 
-void EngineTraceBench(benchmark::State& state, bool trace) {
+void EngineTraceBench(benchmark::State& state, bool trace,
+                      PipelineExecutor executor = PipelineExecutor::kBatch) {
   EngineOptions opts;
   opts.num_workers = 4;
   opts.coordination = CoordinationMode::kDws;
   opts.enable_trace = trace;
+  opts.pipeline_executor = executor;
   const Graph g = GenerateGnp(300, 0.01, 17);
   for (auto _ : state) {
     DCDatalog db(opts);
@@ -490,10 +498,174 @@ void BM_EngineTcTraceOff(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineTcTraceOff)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+/// Same end-to-end TC run on the tuple-at-a-time ablation executor — the
+/// PR 5 execution path — so BENCH_PR6.json carries a same-machine
+/// batch-vs-tuple comparison that absolute-time drift cannot skew.
+void BM_EngineTcTupleExec(benchmark::State& state) {
+  EngineTraceBench(state, false, PipelineExecutor::kTuple);
+}
+BENCHMARK(BM_EngineTcTupleExec)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_EngineTcTraceOn(benchmark::State& state) {
   EngineTraceBench(state, true);
 }
 BENCHMARK(BM_EngineTcTraceOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Rule-pipeline executors ----------------------------------------------
+//
+// The batch-vs-tuple executor ablation on a representative filter + probe
+// rule, isolated from coordination and merging: 256K driving rows through
+// an int filter (~50% selectivity) and two hash-join probes (the shared key
+// variable X triggers the paper's hash-join heuristic), emissions counted
+// through each executor's non-allocating sink. Single-threaded on purpose —
+// the executors differ in per-lane instruction count and probe cache
+// behaviour, not in parallel structure. Throughput is driving tuples/sec;
+// BENCH_PR6.json pins batch ≥ 1.5x tuple on this workload.
+
+constexpr uint32_t kPipeSrcRows = 1u << 18;
+constexpr uint32_t kPipeKeySpace = 1u << 19;  // Filter keeps X < 2^18: ~50%.
+
+/// Planner-compiled filter+probe rule plus everything needed to run it,
+/// built once and shared by both executor benchmarks.
+struct PipelineBenchSetup {
+  Catalog catalog;
+  StringDict dict;
+  Program program;
+  PhysicalPlan plan;
+  const PhysicalRule* rule = nullptr;
+  std::unique_ptr<BaseIndexSet> indexes;
+  std::vector<std::unique_ptr<RecursiveTable>> no_replicas;
+  std::vector<uint64_t> regs;
+  PipelineContext ctx;
+
+  bool Init() {
+    Rng rng(1);
+    auto* src = catalog.Put(Relation("src", Schema::Ints(1)));
+    for (uint32_t i = 0; i < kPipeSrcRows; ++i) {
+      src->Append({rng.Uniform(kPipeKeySpace)});
+    }
+    auto* edge = catalog.Put(Relation("edge", Schema::Ints(2)));
+    for (uint32_t i = 0; i < (1u << 20); ++i) {  // ~2 matches per key.
+      edge->Append({rng.Uniform(kPipeKeySpace), i});
+    }
+    auto* edge2 = catalog.Put(Relation("edge2", Schema::Ints(2)));
+    for (uint32_t i = 0; i < (1u << 19); ++i) {  // ~1 match per key.
+      edge2->Append({rng.Uniform(kPipeKeySpace), i});
+    }
+    auto parsed = ParseProgram(
+        "out(X, Y, Z) :- src(X), X < 262144, edge(X, Y), edge2(X, Z).\n",
+        &dict);
+    if (!parsed.ok()) return false;
+    program = std::move(parsed).value();
+    auto analysis = ProgramAnalysis::Analyze(program, catalog);
+    if (!analysis.ok()) return false;
+    auto logical = BuildLogicalPlans(program, analysis.value());
+    if (!logical.ok()) return false;
+    auto physical =
+        BuildPhysicalPlan(program, analysis.value(), logical.value());
+    if (!physical.ok()) return false;
+    plan = std::move(physical).value();
+    for (const SccPlan& scc : plan.sccs) {
+      if (!scc.base_rules.empty()) rule = &scc.base_rules[0];
+    }
+    if (rule == nullptr || rule->driving_relation != "src") return false;
+    indexes = std::make_unique<BaseIndexSet>(plan.base_indexes);
+    for (size_t i = 0; i < plan.base_indexes.size(); ++i) {
+      if (!indexes->EnsureBuilt(static_cast<int>(i), catalog).ok()) {
+        return false;
+      }
+    }
+    ctx.catalog = &catalog;
+    ctx.base_indexes = indexes.get();
+    ctx.replicas = &no_replicas;
+    regs.assign(rule->num_regs, 0);
+    ctx.regs = regs.data();
+    PreparePipeline(*rule, &ctx);
+    return true;
+  }
+
+  /// Leaky singleton: built on first use, shared by both executor
+  /// benchmarks; nullptr when setup failed.
+  static PipelineBenchSetup* Get() {
+    static PipelineBenchSetup* setup = [] {
+      auto* s = new PipelineBenchSetup();
+      if (!s->Init()) {
+        delete s;
+        return static_cast<PipelineBenchSetup*>(nullptr);
+      }
+      return s;
+    }();
+    return setup;
+  }
+};
+
+/// Counting sink shared by both executors; the tuple side pays the same
+/// BuildWireTuple the engine's per-derivation thunk does.
+struct PipelineCountSink {
+  const PhysicalRule* rule = nullptr;
+  uint64_t count = 0;
+  uint64_t checksum = 0;
+
+  static void Batch(void* c, const HeadSpec& head, const uint64_t* wires,
+                    uint32_t n, uint32_t wire_arity) {
+    (void)head;
+    auto* s = static_cast<PipelineCountSink*>(c);
+    s->count += n;
+    for (uint32_t i = 0; i < n; ++i) {
+      s->checksum ^= wires[static_cast<size_t>(i) * wire_arity];
+    }
+  }
+
+  static void Tuple(void* c, const uint64_t* regs) {
+    auto* s = static_cast<PipelineCountSink*>(c);
+    uint64_t wire[kMaxWireWords];
+    BuildWireTuple(s->rule->head, regs, wire);
+    ++s->count;
+    s->checksum ^= wire[0];
+  }
+};
+
+void BM_PipelineTuple(benchmark::State& state) {
+  PipelineBenchSetup* setup = PipelineBenchSetup::Get();
+  if (setup == nullptr) {
+    state.SkipWithError("pipeline bench setup failed");
+    return;
+  }
+  const Relation* src = setup->catalog.Find("src");
+  for (auto _ : state) {
+    PipelineCountSink sink;
+    sink.rule = setup->rule;
+    const EmitSink emit{&PipelineCountSink::Tuple, &sink};
+    for (uint64_t r = 0; r < src->size(); ++r) {
+      RunPipelineForTuple(*setup->rule, setup->ctx, src->Row(r), emit);
+    }
+    benchmark::DoNotOptimize(sink.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kPipeSrcRows);
+}
+BENCHMARK(BM_PipelineTuple)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineBatch(benchmark::State& state) {
+  PipelineBenchSetup* setup = PipelineBenchSetup::Get();
+  if (setup == nullptr) {
+    state.SkipWithError("pipeline bench setup failed");
+    return;
+  }
+  const Relation* src = setup->catalog.Find("src");
+  BatchPipelineRunner runner;
+  for (auto _ : state) {
+    PipelineCountSink sink;
+    runner.Begin(*setup->rule, &setup->ctx,
+                 BatchEmitSink{&PipelineCountSink::Batch, &sink});
+    for (uint64_t r = 0; r < src->size(); ++r) {
+      runner.Push(src->Row(r));
+    }
+    runner.Finish();
+    benchmark::DoNotOptimize(sink.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kPipeSrcRows);
+}
+BENCHMARK(BM_PipelineBatch)->Unit(benchmark::kMillisecond);
 
 AggSpec MinSpec() {
   AggSpec s;

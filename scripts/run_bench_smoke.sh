@@ -1,27 +1,47 @@
 #!/usr/bin/env bash
-# Merge-backend bench smoke: runs the flat-vs-btree merge microbenches
-# (the PR 5 / Table 4 ablation axis) plus the end-to-end TC engine bench,
-# and emits BENCH_PR5.json at the repository root.
+# Bench smoke for the committed ablation baselines: runs the flat-vs-btree
+# merge microbenches (the PR 5 / Table 4 axis), the batch-vs-tuple pipeline
+# executor microbenches (the PR 6 axis), and the end-to-end TC engine bench,
+# then emits BENCH_PR5.json and BENCH_PR6.json at the repository root.
 #
 # Usage:
-#   scripts/run_bench_smoke.sh                 # measure, write BENCH_PR5.json
-#   scripts/run_bench_smoke.sh --check FILE    # measure, then fail if the
-#                                              # flat merge path regressed
-#                                              # >20% vs the baseline FILE
+#   scripts/run_bench_smoke.sh                   # measure, write both JSONs
+#   scripts/run_bench_smoke.sh --check FILE      # also fail if the flat
+#                                                # merge path regressed >20%
+#                                                # vs the baseline FILE
+#   scripts/run_bench_smoke.sh --check-pr6 FILE  # also fail if the batch
+#                                                # pipeline executor
+#                                                # regressed >20% vs FILE
 #
 # Environment:
 #   BUILD_DIR=<dir>   build tree containing bench/micro_components
 #                     (default: build)
-#   OUT=<file>        output path (default: BENCH_PR5.json)
+#   OUT=<file>        PR 5 output path (default: BENCH_PR5.json)
+#   OUT6=<file>       PR 6 output path (default: BENCH_PR6.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_PR5.json}"
+OUT6="${OUT6:-BENCH_PR6.json}"
 BASELINE=""
-if [[ "${1:-}" == "--check" ]]; then
-  BASELINE="${2:?--check needs a baseline file}"
-fi
+BASELINE6=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check)
+      BASELINE="${2:?--check needs a baseline file}"
+      shift 2
+      ;;
+    --check-pr6)
+      BASELINE6="${2:?--check-pr6 needs a baseline file}"
+      shift 2
+      ;;
+    *)
+      echo "run_bench_smoke: unknown argument $1" >&2
+      exit 2
+      ;;
+  esac
+done
 
 BENCH="$BUILD_DIR/bench/micro_components"
 if [[ ! -x "$BENCH" ]]; then
@@ -33,16 +53,17 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 # One process, one JSON: the 1M-tuple kNone dedup merge on both backends,
-# the min-merge ablation trio plus its flat twin, and the end-to-end TC run.
+# the min-merge ablation trio plus its flat twin, both rule-pipeline
+# executors on the filter+probe workload, and the end-to-end TC run.
 "$BENCH" \
-  --benchmark_filter='BM_MergeNone(Flat|Btree)|BM_MergeMin(Indexed|IndexedNoCache|LinearScan|Flat)$|BM_EngineTcTraceOff' \
+  --benchmark_filter='BM_MergeNone(Flat|Btree)|BM_MergeMin(Indexed|IndexedNoCache|LinearScan|Flat)$|BM_Pipeline(Tuple|Batch)$|BM_EngineTcTraceOff|BM_EngineTcTupleExec' \
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >&2
 
-python3 - "$RAW" "$OUT" "$BASELINE" <<'PY'
+python3 - "$RAW" "$OUT" "$OUT6" "$BASELINE" "$BASELINE6" <<'PY'
 import json, sys
 
-raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, out6_path, baseline_path, baseline6_path = sys.argv[1:6]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -84,6 +105,27 @@ with open(out_path, "w") as f:
     f.write("\n")
 print(json.dumps(result, indent=2))
 
+batch = mtps("BM_PipelineBatch")
+tuple_ = mtps("BM_PipelineTuple")
+result6 = {
+    "bench": "pipeline-executor ablation (PR 6)",
+    "workload": "256K driving rows through an int filter (~50% "
+                "selectivity) and two hash-join probes, single-threaded; "
+                "throughput in driving Mtuples/s",
+    "pipeline_batch_mtps": batch,
+    "pipeline_tuple_mtps": tuple_,
+    "batch_over_tuple": round(batch / tuple_, 2) if batch and tuple_ else None,
+    # Same-machine end-to-end TC (gnp:300:0.01, 4 workers, DWS) on each
+    # executor; the batch number is the headline, the tuple number is the
+    # PR 5 execution path re-measured under today's machine conditions.
+    "end_to_end_tc_ms": ms("BM_EngineTcTraceOff"),
+    "end_to_end_tc_tuple_ms": ms("BM_EngineTcTupleExec"),
+}
+with open(out6_path, "w") as f:
+    json.dump(result6, f, indent=2)
+    f.write("\n")
+print(json.dumps(result6, indent=2))
+
 if baseline_path:
     with open(baseline_path) as f:
         base = json.load(f)
@@ -96,4 +138,17 @@ if baseline_path:
         )
         sys.exit(1)
     print(f"check OK: flat {flat} Mtuples/s vs baseline {base_flat}")
+
+if baseline6_path:
+    with open(baseline6_path) as f:
+        base6 = json.load(f)
+    base_batch = base6.get("pipeline_batch_mtps")
+    if base_batch and batch is not None and batch < 0.8 * base_batch:
+        print(
+            f"FAIL: batch pipeline executor regressed: {batch} Mtuples/s "
+            f"vs baseline {base_batch} (>20% slower)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"check OK: batch {batch} Mtuples/s vs baseline {base_batch}")
 PY

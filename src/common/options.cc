@@ -27,6 +27,16 @@ const char* MergeIndexBackendName(MergeIndexBackend backend) {
   return "unknown";
 }
 
+const char* PipelineExecutorName(PipelineExecutor executor) {
+  switch (executor) {
+    case PipelineExecutor::kBatch:
+      return "batch";
+    case PipelineExecutor::kTuple:
+      return "tuple";
+  }
+  return "unknown";
+}
+
 EngineOptions EngineOptions::Resolved() const {
   EngineOptions out = *this;
   if (out.num_workers == 0) {
@@ -48,6 +58,7 @@ std::string EngineOptions::ToString() const {
      << ", agg_index=" << (enable_aggregate_index ? "on" : "off")
      << ", exist_cache=" << (enable_existence_cache ? "on" : "off")
      << ", merge_backend=" << MergeIndexBackendName(merge_index_backend)
+     << ", pipeline=" << PipelineExecutorName(pipeline_executor)
      << ", trace=" << (enable_trace ? "on" : "off") << "}";
   return os.str();
 }

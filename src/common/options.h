@@ -25,6 +25,17 @@ enum class MergeIndexBackend : uint8_t {
 
 const char* MergeIndexBackendName(MergeIndexBackend backend);
 
+/// Which rule-pipeline executor the workers run (§5.2).
+enum class PipelineExecutor : uint8_t {
+  kBatch = 0,  // Vectorized batch-at-a-time: columnar register banks,
+               // selection vectors, prefetch-pipelined probes — the hot
+               // path (runtime/batch_pipeline.h).
+  kTuple = 1,  // The original depth-first tuple-at-a-time executor; kept as
+               // the ablation baseline and differential-fuzzing cross-check.
+};
+
+const char* PipelineExecutorName(PipelineExecutor executor);
+
 /// Engine-wide tuning knobs. Defaults reproduce the configuration the paper
 /// evaluates (DWS with all §6 optimizations on).
 struct EngineOptions {
@@ -64,6 +75,11 @@ struct EngineOptions {
   /// hot path; the B+-tree backend survives as the ablation baseline
   /// (`--merge-index-backend=btree` reproduces the pre-flat numbers).
   MergeIndexBackend merge_index_backend = MergeIndexBackend::kFlat;
+
+  /// §5.2 rule-pipeline executor. Batch-at-a-time is the default hot path;
+  /// the tuple-at-a-time executor survives as the ablation baseline
+  /// (`--pipeline-executor=tuple` reproduces the pre-batch numbers).
+  PipelineExecutor pipeline_executor = PipelineExecutor::kBatch;
 
   /// Existence-cache slots per worker (direct-mapped).
   uint32_t existence_cache_slots = 1 << 15;

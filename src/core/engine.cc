@@ -19,6 +19,7 @@
 #include "datalog/analysis.h"
 #include "planner/logical_plan.h"
 #include "runtime/base_index_set.h"
+#include "runtime/batch_pipeline.h"
 #include "runtime/distributor.h"
 #include "runtime/message.h"
 #include "runtime/pipeline.h"
@@ -105,6 +106,8 @@ class SccExecutor {
     uint64_t accepts = 0;
     uint64_t cache_hits = 0;
     uint64_t merge_probe_cmps = 0;
+    uint64_t pipeline_batches = 0;
+    uint64_t pipeline_rows_selected = 0;
     int64_t idle_ns = 0;
   };
 
@@ -114,6 +117,10 @@ class SccExecutor {
     SccExecutor* exec = nullptr;
     std::vector<std::unique_ptr<RecursiveTable>>* replicas = nullptr;
     std::vector<uint64_t> regs;
+    /// Batch-at-a-time executor state (columnar banks, selection vectors);
+    /// reused across rules and iterations so steady-state batches never
+    /// allocate. Untouched under --pipeline-executor=tuple.
+    BatchPipelineRunner batch_runner;
     std::unique_ptr<Distributor> distributor;
     DwsController dws;
     std::vector<std::vector<TupleBuf>> gather_scratch;  // Per replica.
@@ -278,6 +285,30 @@ class SccExecutor {
       ws.cache_hits += table->cache_hits();
       ws.merge_probe_cmps += table->merge_probe_cmps();
     }
+    ws.pipeline_batches = ctx.batch_runner.batches();
+    ws.pipeline_rows_selected = ctx.batch_runner.rows_selected();
+  }
+
+  /// Non-allocating emit thunks (EmitSink / BatchEmitSink): plain function
+  /// pointers plus a stack-held context, replacing the old per-rule
+  /// capturing std::function.
+  struct RuleEmitCtx {
+    WorkerContext* ctx;
+    const PhysicalRule* rule;
+  };
+
+  static void EmitTupleThunk(void* c, const uint64_t* regs) {
+    auto* e = static_cast<RuleEmitCtx*>(c);
+    uint64_t wire[kMaxWireWords];
+    BuildWireTuple(e->rule->head, regs, wire);
+    e->ctx->distributor->Emit(e->rule->head, wire);
+  }
+
+  static void EmitBatchThunk(void* c, const HeadSpec& head,
+                             const uint64_t* wires, uint32_t count,
+                             uint32_t wire_arity) {
+    auto* ctx = static_cast<WorkerContext*>(c);
+    ctx->distributor->EmitBatch(head, wires, count, wire_arity);
   }
 
   void RunBaseRules(WorkerContext* ctx) {
@@ -287,15 +318,21 @@ class SccExecutor {
     pctx.replicas = ctx->replicas;
     pctx.regs = ctx->regs.data();
 
+    const bool batch =
+        options_.pipeline_executor == PipelineExecutor::kBatch;
     for (const PhysicalRule& rule : scc_.base_rules) {
       PreparePipeline(rule, &pctx);
-      const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
-        uint64_t wire[kMaxWireWords];
-        BuildWireTuple(rule.head, regs, wire);
-        ctx->distributor->Emit(rule.head, wire);
-      };
+      RuleEmitCtx ectx{ctx, &rule};
+      const EmitSink emit{&EmitTupleThunk, &ectx};
+      const BatchEmitSink batch_emit{&EmitBatchThunk, ctx};
       if (rule.driving_is_unit) {
-        if (ctx->wid == 0) RunPipelineUnit(rule, pctx, emit);
+        if (ctx->wid == 0) {
+          if (batch) {
+            ctx->batch_runner.RunUnit(rule, &pctx, batch_emit);
+          } else {
+            RunPipelineUnit(rule, pctx, emit);
+          }
+        }
         continue;
       }
       const Relation* rel = catalog_->Find(rule.driving_relation);
@@ -303,8 +340,16 @@ class SccExecutor {
       const uint64_t size = rel->size();
       const uint64_t begin = size * ctx->wid / n_;
       const uint64_t end = size * (ctx->wid + 1) / n_;
-      for (uint64_t r = begin; r < end; ++r) {
-        RunPipelineForTuple(rule, pctx, rel->Row(r), emit);
+      if (batch) {
+        ctx->batch_runner.Begin(rule, &pctx, batch_emit);
+        for (uint64_t r = begin; r < end; ++r) {
+          ctx->batch_runner.Push(rel->Row(r));
+        }
+        ctx->batch_runner.Finish();
+      } else {
+        for (uint64_t r = begin; r < end; ++r) {
+          RunPipelineForTuple(rule, pctx, rel->Row(r), emit);
+        }
       }
     }
   }
@@ -392,19 +437,27 @@ class SccExecutor {
     pctx.replicas = ctx->replicas;
     pctx.regs = ctx->regs.data();
 
+    const bool batch =
+        options_.pipeline_executor == PipelineExecutor::kBatch;
     for (const PhysicalRule& rule : scc_.delta_rules) {
       const auto& snapshot = snapshots[rule.driving_replica];
       if (snapshot.empty()) continue;
       PreparePipeline(rule, &pctx);
       const uint32_t arity =
           (*ctx->replicas)[rule.driving_replica]->stored_arity();
-      const EmitFn emit = [this, ctx, &rule](const uint64_t* regs) {
-        uint64_t wire[kMaxWireWords];
-        BuildWireTuple(rule.head, regs, wire);
-        ctx->distributor->Emit(rule.head, wire);
-      };
-      for (const TupleBuf& tuple : snapshot) {
-        RunPipelineForTuple(rule, pctx, tuple.Ref(arity), emit);
+      if (batch) {
+        const BatchEmitSink batch_emit{&EmitBatchThunk, ctx};
+        ctx->batch_runner.Begin(rule, &pctx, batch_emit);
+        for (const TupleBuf& tuple : snapshot) {
+          ctx->batch_runner.Push(tuple.Ref(arity));
+        }
+        ctx->batch_runner.Finish();
+      } else {
+        RuleEmitCtx ectx{ctx, &rule};
+        const EmitSink emit{&EmitTupleThunk, &ectx};
+        for (const TupleBuf& tuple : snapshot) {
+          RunPipelineForTuple(rule, pctx, tuple.Ref(arity), emit);
+        }
       }
     }
     ctx->distributor->Flush();
@@ -635,6 +688,8 @@ class SccExecutor {
       stats->accepts += ws.accepts;
       stats->cache_hits += ws.cache_hits;
       stats->merge_probe_cmps += ws.merge_probe_cmps;
+      stats->pipeline_batches += ws.pipeline_batches;
+      stats->pipeline_rows_selected += ws.pipeline_rows_selected;
       stats->idle_wait_seconds += static_cast<double>(ws.idle_ns) * 1e-9;
       stats->trace_dropped += ws.trace_dropped;
       stats->trace.insert(stats->trace.end(), ws.trace.begin(),
@@ -681,6 +736,8 @@ std::vector<std::pair<const char*, double>> EvalStats::Counters() const {
       {"accepts", static_cast<double>(accepts)},
       {"cache_hits", static_cast<double>(cache_hits)},
       {"merge_probe_cmps", static_cast<double>(merge_probe_cmps)},
+      {"pipeline_batches", static_cast<double>(pipeline_batches)},
+      {"pipeline_rows_selected", static_cast<double>(pipeline_rows_selected)},
       {"idle_wait_seconds", idle_wait_seconds},
       {"trace_dropped", static_cast<double>(trace_dropped)},
   };

@@ -45,6 +45,12 @@ struct EvalStats {
   /// close: probe comparisons are the dependent-load chain the flat
   /// structures exist to shorten.
   uint64_t merge_probe_cmps = 0;
+  /// Driving batches the batch pipeline executor ran (0 under
+  /// --pipeline-executor=tuple — the ablation baseline has no batches).
+  uint64_t pipeline_batches = 0;
+  /// Driving rows admitted into batches after the driving scan's checks
+  /// (the lanes the vectorized steps actually processed).
+  uint64_t pipeline_rows_selected = 0;
   /// Cumulative time workers spent blocked in coordination — barrier spins
   /// (Global), slack waits (SSP), ω/τ waits and inactive parking (DWS).
   /// This is the quantity the coordination strategies trade off; on

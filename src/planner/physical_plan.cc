@@ -23,6 +23,13 @@ void CollectScans(const LogicalOp* node, std::vector<const LogicalOp*>* out) {
   for (const auto& child : node->children) CollectScans(child.get(), out);
 }
 
+/// Marks every register a compiled expression reads.
+void MarkExprRegs(const CompiledExpr& e, std::vector<char>* need) {
+  if (e.op == ExprOp::kVar && e.reg >= 0) (*need)[e.reg] = 1;
+  if (e.lhs != nullptr) MarkExprRegs(*e.lhs, need);
+  if (e.rhs != nullptr) MarkExprRegs(*e.rhs, need);
+}
+
 /// First column of `atom` holding variable `v`, or -1.
 int ColOfVar(const Atom& atom, const std::string& v) {
   for (size_t i = 0; i < atom.args.size(); ++i) {
@@ -118,6 +125,79 @@ class RuleCompiler {
     DCD_RETURN_IF_ERROR_P(CompileNode(logical.root.get()));
     out_.num_regs = static_cast<uint32_t>(reg_types_.size());
     out_.reg_types = reg_types_;
+
+    // Batch-executor metadata: classify each step by whether it can fan out
+    // (more than one output row per input lane). Probes and scans expand;
+    // filters, binds and anti-joins are at most 1:1.
+    for (Step& step : out_.steps) {
+      switch (step.kind) {
+        case StepKind::kProbeBaseHash:
+        case StepKind::kProbeBaseBTree:
+        case StepKind::kScanBase:
+        case StepKind::kProbeRecursive:
+          step.expanding = true;
+          out_.has_expanding_steps = true;
+          break;
+        case StepKind::kAntiJoinBTree:
+        case StepKind::kAntiJoinScan:
+        case StepKind::kFilter:
+        case StepKind::kBind:
+          step.expanding = false;
+          break;
+      }
+    }
+
+    // Backward liveness pass for the batch executor's lane scatters: for
+    // every expanding step, the registers an output lane inherits from its
+    // input lane are those live after the step (read by later steps or the
+    // head) plus the step's own eq-checks, minus the registers its outputs
+    // write. Registers dead downstream are never copied.
+    {
+      std::vector<char> need(reg_types_.size(), 0);
+      for (const CompiledExpr& e : out_.head.wire_exprs) {
+        MarkExprRegs(e, &need);
+      }
+      for (size_t i = out_.steps.size(); i-- > 0;) {
+        Step& step = out_.steps[i];
+        if (step.expanding) {
+          std::vector<char> carry = need;
+          for (const EqCheck& c : step.eq_checks) carry[c.reg] = 1;
+          for (const OutputBinding& b : step.outputs) carry[b.reg] = 0;
+          step.carry_regs.clear();
+          for (size_t r = 0; r < carry.size(); ++r) {
+            if (carry[r]) step.carry_regs.push_back(static_cast<int>(r));
+          }
+        }
+        // Liveness before the step: clear its writes, then mark its reads.
+        switch (step.kind) {
+          case StepKind::kProbeBaseHash:
+          case StepKind::kProbeBaseBTree:
+          case StepKind::kScanBase:
+          case StepKind::kProbeRecursive:
+            for (const OutputBinding& b : step.outputs) need[b.reg] = 0;
+            for (const EqCheck& c : step.eq_checks) need[c.reg] = 1;
+            if (!step.probe_is_const && step.probe_reg >= 0) {
+              need[step.probe_reg] = 1;
+            }
+            break;
+          case StepKind::kAntiJoinBTree:
+          case StepKind::kAntiJoinScan:
+            for (const EqCheck& c : step.eq_checks) need[c.reg] = 1;
+            if (!step.probe_is_const && step.probe_reg >= 0) {
+              need[step.probe_reg] = 1;
+            }
+            break;
+          case StepKind::kFilter:
+            MarkExprRegs(step.lhs, &need);
+            MarkExprRegs(step.rhs, &need);
+            break;
+          case StepKind::kBind:
+            need[step.bind_reg] = 0;
+            MarkExprRegs(step.lhs, &need);
+            break;
+        }
+      }
+    }
     return std::move(out_);
   }
 

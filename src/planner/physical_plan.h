@@ -71,6 +71,21 @@ struct Step {
   CompiledExpr lhs;  // kBind: the value expression.
   CompiledExpr rhs;  // kFilter only.
   int bind_reg = -1;
+
+  /// Planner-computed batch-executor metadata: true when the step can fan
+  /// out — emit more than one output row per input lane (probes and scans).
+  /// Non-expanding steps (filter/bind/anti-join) are at most 1:1, so the
+  /// batch executor runs them in place over the selection vector instead of
+  /// scattering into a fresh register bank.
+  bool expanding = false;
+
+  /// Planner-computed liveness (expanding steps only): the registers an
+  /// output lane must inherit from its input lane when this step scatters a
+  /// match into the next level — registers read by later steps or the head,
+  /// plus this step's own eq-checks, minus the ones its outputs (re)write.
+  /// The batch executor copies exactly these words per match instead of the
+  /// whole register file.
+  std::vector<int> carry_regs;
 };
 
 /// Aggregate behaviour of one derived predicate (paper §6.2.1).
@@ -135,6 +150,11 @@ struct PhysicalRule {
 
   uint32_t num_regs = 0;
   std::vector<ColumnType> reg_types;
+
+  /// Planner-computed: any step has expanding == true. A rule without
+  /// expanding steps keeps one batch's lanes 1:1 with its driving tuples,
+  /// which lets the batch executor skip bank-to-bank scatters entirely.
+  bool has_expanding_steps = false;
 
   std::string ToString() const;
 };

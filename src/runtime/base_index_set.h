@@ -2,6 +2,7 @@
 #define DCDATALOG_RUNTIME_BASE_INDEX_SET_H_
 
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/status.h"
@@ -29,21 +30,36 @@ class BaseIndexSet {
   bool IsBuilt(int id) const { return entries_[id].built; }
 
   /// fn(TupleRef row) for each row of the indexed relation whose key column
-  /// equals `key`.
+  /// equals `key`. fn may return void (visit everything) or bool — false
+  /// stops the iteration early (anti-joins stop at the first witness).
   template <typename Fn>
   void ForEachMatch(int id, uint64_t key, Fn&& fn) const {
+    const auto visit = [&fn](TupleRef row) {
+      if constexpr (std::is_void_v<std::invoke_result_t<Fn&, TupleRef>>) {
+        fn(row);
+        return true;
+      } else {
+        return fn(row);
+      }
+    };
     const Entry& e = entries_[id];
     if (e.req.is_hash) {
       e.hash.ForEachMatch(key, [&](uint64_t row_id) {
-        fn(e.relation->Row(row_id));
-        return true;
+        return visit(e.relation->Row(row_id));
       });
     } else {
       e.btree->ForEachEqual(key, [&](const uint64_t& row_id) {
-        fn(e.relation->Row(row_id));
-        return true;
+        return visit(e.relation->Row(row_id));
       });
     }
+  }
+
+  /// Prefetches index `id`'s probe slot for `key` (hash indexes only; a
+  /// B+-tree probe has no single home slot, so it is a no-op there). Issued
+  /// by the batch pipeline several lanes ahead of the probe pass.
+  void Prefetch(int id, uint64_t key) const {
+    const Entry& e = entries_[id];
+    if (e.req.is_hash) e.hash.Prefetch(key);
   }
 
  private:

@@ -112,11 +112,9 @@ void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
   }
 }
 
-void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
-  DCD_AFFINITY_GUARD(owner_affinity_);
+void Distributor::EmitResolved(PerPredicate& pp, const AggSpec& spec,
+                               const uint64_t* wire) {
   ++tuples_emitted_;
-  PerPredicate& pp = StateFor(head);
-  const AggSpec& spec = head.agg;
   const bool foldable = partial_agg_ && (spec.func == AggFunc::kMin ||
                                          spec.func == AggFunc::kMax);
   if (!foldable) {
@@ -135,6 +133,22 @@ void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
   ++tuples_folded_;
   if (Better(spec, wire[value_col], it->second.v[value_col])) {
     it->second = TupleBuf::FromWords(wire, spec.wire_arity);
+  }
+}
+
+void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
+  DCD_AFFINITY_GUARD(owner_affinity_);
+  EmitResolved(StateFor(head), head.agg, wire);
+}
+
+void Distributor::EmitBatch(const HeadSpec& head, const uint64_t* wires,
+                            uint32_t count, uint32_t wire_arity) {
+  DCD_AFFINITY_GUARD(owner_affinity_);
+  if (count == 0) return;
+  PerPredicate& pp = StateFor(head);
+  DCD_DCHECK(wire_arity == pp.wire_arity);
+  for (uint32_t i = 0; i < count; ++i) {
+    EmitResolved(pp, head.agg, wires + static_cast<size_t>(i) * wire_arity);
   }
 }
 

@@ -48,6 +48,13 @@ class Distributor {
   /// into the partial-aggregation buffer; everything else routes at once.
   void Emit(const HeadSpec& head, const uint64_t* wire);
 
+  /// Batch form of Emit for the batch pipeline executor: `count` wire
+  /// tuples packed densely, `wire_arity` words each. Per-predicate state is
+  /// resolved once for the whole batch; folding and routing are per-tuple
+  /// identical to Emit.
+  void EmitBatch(const HeadSpec& head, const uint64_t* wires, uint32_t count,
+                 uint32_t wire_arity);
+
   /// Routes all buffered partial aggregates and ships every non-empty
   /// staging block. Call once per local iteration, after the last rule ran
   /// — coordination (and termination detection) relies on nothing lingering
@@ -77,6 +84,11 @@ class Distributor {
   };
 
   void Route(const PerPredicate& pp, const uint64_t* wire);
+
+  /// Emit with per-predicate state already resolved (shared by the single
+  /// and batch entry points).
+  void EmitResolved(PerPredicate& pp, const AggSpec& spec,
+                    const uint64_t* wire);
 
   MsgBlock& StagingFor(uint32_t dest, uint32_t replica) {
     return staging_[static_cast<size_t>(dest) * num_replicas_ + replica];

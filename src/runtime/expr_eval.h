@@ -18,6 +18,17 @@ uint64_t EvalExpr(const CompiledExpr& expr, const uint64_t* regs);
 bool EvalCompare(CmpOp op, const CompiledExpr& lhs, const CompiledExpr& rhs,
                  const uint64_t* regs);
 
+/// Columnar variants for the batch executor: registers live in banks of
+/// `stride` lanes each, so register r of lane `lane` is
+/// banks[r * stride + lane]. With stride = 1, lane = 0 these degenerate to
+/// the row-layout entry points above (same evaluator underneath).
+uint64_t EvalExprLane(const CompiledExpr& expr, const uint64_t* banks,
+                      uint64_t stride, uint32_t lane);
+
+bool EvalCompareLane(CmpOp op, const CompiledExpr& lhs,
+                     const CompiledExpr& rhs, const uint64_t* banks,
+                     uint64_t stride, uint32_t lane);
+
 }  // namespace dcdatalog
 
 #endif  // DCDATALOG_RUNTIME_EXPR_EVAL_H_

@@ -6,27 +6,8 @@
 namespace dcdatalog {
 namespace {
 
-/// Applies a step's residual checks to a matched tuple and, on success,
-/// binds its output columns into registers. Returns false on any mismatch.
-bool ApplyChecksAndBind(const Step& step, TupleRef tuple, uint64_t* regs) {
-  for (const ConstCheck& c : step.const_checks) {
-    if (tuple[c.col] != c.word) return false;
-  }
-  // Outputs bind only freshly allocated registers, so writing them before
-  // the equality checks is safe — and necessary for repeated variables
-  // within one atom (q(Y, Y)), where the check compares against the
-  // just-bound first occurrence.
-  for (const OutputBinding& b : step.outputs) {
-    regs[b.reg] = tuple[b.col];
-  }
-  for (const EqCheck& c : step.eq_checks) {
-    if (tuple[c.col] != regs[c.reg]) return false;
-  }
-  return true;
-}
-
 void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
-                 size_t step_idx, const EmitFn& emit) {
+                 size_t step_idx, const EmitSink& emit) {
   if (step_idx == rule.steps.size()) {
     emit(ctx.regs);
     return;
@@ -48,7 +29,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
           step.probe_is_const ? step.probe_const : ctx.regs[step.probe_reg];
       ctx.base_indexes->ForEachMatch(
           step.base_index_id, key, [&](TupleRef row) {
-            if (ApplyChecksAndBind(step, row, ctx.regs)) {
+            if (ApplyChecksAndBindStrided(step, row, ctx.regs, 1, 0)) {
               ExecuteFrom(rule, ctx, step_idx + 1, emit);
             }
           });
@@ -59,7 +40,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       DCD_CHECK(rel != nullptr);
       const uint64_t n = rel->size();
       for (uint64_t r = 0; r < n; ++r) {
-        if (ApplyChecksAndBind(step, rel->Row(r), ctx.regs)) {
+        if (ApplyChecksAndBindStrided(step, rel->Row(r), ctx.regs, 1, 0)) {
           ExecuteFrom(rule, ctx, step_idx + 1, emit);
         }
       }
@@ -69,17 +50,12 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       const uint64_t key =
           step.probe_is_const ? step.probe_const : ctx.regs[step.probe_reg];
       bool found = false;
+      // The bool-returning callback stops the index iteration at the first
+      // witness; StepChecksMatch itself exits at the first failing check.
       ctx.base_indexes->ForEachMatch(
           step.base_index_id, key, [&](TupleRef row) {
-            if (found) return;
-            bool match = true;
-            for (const ConstCheck& c : step.const_checks) {
-              if (row[c.col] != c.word) match = false;
-            }
-            for (const EqCheck& c : step.eq_checks) {
-              if (row[c.col] != ctx.regs[c.reg]) match = false;
-            }
-            found = found || match;
+            found = StepChecksMatch(step, row, ctx.regs, 1, 0);
+            return !found;
           });
       if (!found) ExecuteFrom(rule, ctx, step_idx + 1, emit);
       return;
@@ -90,15 +66,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       const uint64_t n = rel->size();
       bool found = false;
       for (uint64_t r = 0; r < n && !found; ++r) {
-        TupleRef row = rel->Row(r);
-        bool match = true;
-        for (const ConstCheck& c : step.const_checks) {
-          if (row[c.col] != c.word) match = false;
-        }
-        for (const EqCheck& c : step.eq_checks) {
-          if (row[c.col] != ctx.regs[c.reg]) match = false;
-        }
-        found = match;
+        found = StepChecksMatch(step, rel->Row(r), ctx.regs, 1, 0);
       }
       if (!found) ExecuteFrom(rule, ctx, step_idx + 1, emit);
       return;
@@ -107,7 +75,7 @@ void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
       const uint64_t key = ctx.regs[step.probe_reg];
       const RecursiveTable& table = *(*ctx.replicas)[step.replica_id];
       table.ForEachJoinMatch(key, [&](TupleRef row) {
-        if (ApplyChecksAndBind(step, row, ctx.regs)) {
+        if (ApplyChecksAndBindStrided(step, row, ctx.regs, 1, 0)) {
           ExecuteFrom(rule, ctx, step_idx + 1, emit);
         }
       });
@@ -143,23 +111,13 @@ void PreparePipeline(const PhysicalRule& rule, PipelineContext* ctx) {
 }
 
 void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
-                         TupleRef driving, const EmitFn& emit) {
-  for (const ConstCheck& c : rule.scan_const_checks) {
-    if (driving[c.col] != c.word) return;
-  }
-  for (const OutputBinding& b : rule.scan_outputs) {
-    ctx.regs[b.reg] = driving[b.col];
-  }
-  // Eq checks on the driving scan handle repeated variables within the
-  // atom, e.g. p(X, X): the first occurrence binds, later ones compare.
-  for (const EqCheck& c : rule.scan_eq_checks) {
-    if (driving[c.col] != ctx.regs[c.reg]) return;
-  }
+                         TupleRef driving, const EmitSink& emit) {
+  if (!ApplyDrivingScanStrided(rule, driving, ctx.regs, 1, 0)) return;
   ExecuteFrom(rule, ctx, 0, emit);
 }
 
 void RunPipelineUnit(const PhysicalRule& rule, const PipelineContext& ctx,
-                     const EmitFn& emit) {
+                     const EmitSink& emit) {
   DCD_DCHECK(rule.driving_is_unit);
   ExecuteFrom(rule, ctx, 0, emit);
 }

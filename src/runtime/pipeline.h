@@ -1,7 +1,6 @@
 #ifndef DCDATALOG_RUNTIME_PIPELINE_H_
 #define DCDATALOG_RUNTIME_PIPELINE_H_
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,7 +18,8 @@ struct PipelineContext {
   const BaseIndexSet* base_indexes = nullptr;
   /// This worker's replica partitions, indexed by replica id.
   const std::vector<std::unique_ptr<RecursiveTable>>* replicas = nullptr;
-  /// Register scratch, at least PhysicalRule::num_regs wide.
+  /// Register scratch, at least PhysicalRule::num_regs wide (tuple
+  /// executor; the batch executor carries its own columnar banks).
   uint64_t* regs = nullptr;
   /// Scan relations resolved once per rule by PreparePipeline, indexed by
   /// step. The catalog registry is lock-guarded, so per-tuple Find calls
@@ -33,19 +33,89 @@ struct PipelineContext {
 /// with this context; rules without scan steps clear the cache cheaply.
 void PreparePipeline(const PhysicalRule& rule, PipelineContext* ctx);
 
-/// Emission callback: registers are loaded; the callee evaluates the head's
-/// wire expressions and routes the tuple.
-using EmitFn = std::function<void(const uint64_t* regs)>;
+/// Non-allocating emission callback: a plain function pointer plus opaque
+/// context. Replaces the old std::function EmitFn — a capturing
+/// std::function can heap-allocate and always calls through a vtable-like
+/// thunk, neither of which belongs on the per-derivation hot path. The
+/// callee evaluates the head's wire expressions and routes the tuple.
+struct EmitSink {
+  using Fn = void (*)(void* ctx, const uint64_t* regs);
+  Fn fn = nullptr;
+  void* ctx = nullptr;
+
+  void operator()(const uint64_t* regs) const { fn(ctx, regs); }
+};
+
+// --- Shared step-compilation layer ----------------------------------------
+// Both executors apply the same residual-check/bind semantics per matched
+// tuple; the only difference is the register layout. These helpers take the
+// strided form (register r of lane `lane` lives at regs[r * stride + lane]);
+// the tuple executor passes stride = 1, lane = 0 and gets the flat layout.
+
+/// Applies a step's residual checks to a matched tuple and, on success,
+/// binds its output columns into registers. Returns false on any mismatch.
+inline bool ApplyChecksAndBindStrided(const Step& step, TupleRef tuple,
+                                      uint64_t* regs, uint64_t stride,
+                                      uint32_t lane) {
+  for (const ConstCheck& c : step.const_checks) {
+    if (tuple[c.col] != c.word) return false;
+  }
+  // Outputs bind only freshly allocated registers, so writing them before
+  // the equality checks is safe — and necessary for repeated variables
+  // within one atom (q(Y, Y)), where the check compares against the
+  // just-bound first occurrence.
+  for (const OutputBinding& b : step.outputs) {
+    regs[b.reg * stride + lane] = tuple[b.col];
+  }
+  for (const EqCheck& c : step.eq_checks) {
+    if (tuple[c.col] != regs[c.reg * stride + lane]) return false;
+  }
+  return true;
+}
+
+/// Checks whether a tuple matches a step's const and eq checks WITHOUT
+/// binding outputs — the anti-join witness test. Exits at the first
+/// mismatch.
+inline bool StepChecksMatch(const Step& step, TupleRef tuple,
+                            const uint64_t* regs, uint64_t stride,
+                            uint32_t lane) {
+  for (const ConstCheck& c : step.const_checks) {
+    if (tuple[c.col] != c.word) return false;
+  }
+  for (const EqCheck& c : step.eq_checks) {
+    if (tuple[c.col] != regs[c.reg * stride + lane]) return false;
+  }
+  return true;
+}
+
+/// Applies the driving scan's const checks, output bindings and eq checks
+/// for one driving tuple. Returns false when the tuple is rejected.
+inline bool ApplyDrivingScanStrided(const PhysicalRule& rule, TupleRef driving,
+                                    uint64_t* regs, uint64_t stride,
+                                    uint32_t lane) {
+  for (const ConstCheck& c : rule.scan_const_checks) {
+    if (driving[c.col] != c.word) return false;
+  }
+  for (const OutputBinding& b : rule.scan_outputs) {
+    regs[b.reg * stride + lane] = driving[b.col];
+  }
+  // Eq checks on the driving scan handle repeated variables within the
+  // atom, e.g. p(X, X): the first occurrence binds, later ones compare.
+  for (const EqCheck& c : rule.scan_eq_checks) {
+    if (driving[c.col] != regs[c.reg * stride + lane]) return false;
+  }
+  return true;
+}
 
 /// Executes `rule`'s step pipeline for one driving tuple (a delta row or a
 /// scanned base row): applies the driving scan's bindings and checks, then
 /// runs probes/filters/binds depth-first, calling `emit` per derivation.
 void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
-                         TupleRef driving, const EmitFn& emit);
+                         TupleRef driving, const EmitSink& emit);
 
 /// Executes a unit-driven rule (no body atoms): runs the pipeline once.
 void RunPipelineUnit(const PhysicalRule& rule, const PipelineContext& ctx,
-                     const EmitFn& emit);
+                     const EmitSink& emit);
 
 /// Evaluates the head's wire expressions into `wire` (wire_arity words).
 void BuildWireTuple(const HeadSpec& head, const uint64_t* regs,

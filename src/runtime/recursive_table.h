@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/affinity.h"
@@ -90,14 +91,23 @@ class RecursiveTable {
   uint32_t partition_col() const { return partition_col_; }
 
   /// Probes the join index: fn(TupleRef stored_row) for each row whose
-  /// partition-column value equals `key`. Requires needs_join_index.
+  /// partition-column value equals `key`. fn may return void (visit all) or
+  /// bool — false stops early. Requires needs_join_index.
   template <typename Fn>
   void ForEachJoinMatch(uint64_t key, Fn&& fn) const {
     join_index_.ForEachMatch(key, [&](uint64_t row_id) {
-      fn(rows_.Row(row_id));
-      return true;
+      if constexpr (std::is_void_v<std::invoke_result_t<Fn&, TupleRef>>) {
+        fn(rows_.Row(row_id));
+        return true;
+      } else {
+        return fn(rows_.Row(row_id));
+      }
     });
   }
+
+  /// Prefetches the join index's bucket for `key` (batch-pipeline probe
+  /// pipelining).
+  void PrefetchJoin(uint64_t key) const { join_index_.Prefetch(key); }
 
   // --- Statistics ---
   uint64_t merges() const { return merges_; }

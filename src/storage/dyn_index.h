@@ -52,6 +52,12 @@ class DynIndex {
     buckets_[b] = e;
   }
 
+  /// Prefetches the bucket head for `key` (batch-pipeline probe pipelining;
+  /// see HashIndex::Prefetch).
+  void Prefetch(uint64_t key) const {
+    __builtin_prefetch(&buckets_[HashMix64(key) & mask_], 0, 3);
+  }
+
   /// Calls fn(row_id) for each entry with this key; fn returns false to
   /// stop. Returns matches visited.
   template <typename Fn>

@@ -99,6 +99,7 @@ RunOutcome RunEngineOnce(const FuzzCase& c, const RunConfig& config,
   options.num_workers = config.num_workers;
   options.coordination = config.mode;
   options.merge_index_backend = config.merge_backend;
+  options.pipeline_executor = config.pipeline;
   options.max_global_iterations = config.max_global_iterations;
   DCDatalog db(options);
   Status load = c.Load(&db);
@@ -134,6 +135,7 @@ RunOutcome RunEngineTraced(const FuzzCase& c, const RunConfig& config,
   options.num_workers = config.num_workers;
   options.coordination = config.mode;
   options.merge_index_backend = config.merge_backend;
+  options.pipeline_executor = config.pipeline;
   options.max_global_iterations = config.max_global_iterations;
   options.enable_trace = true;
   DCDatalog db(options);

@@ -392,11 +392,13 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
   s.accepts = 111;
   s.cache_hits = 112;
   s.merge_probe_cmps = 115;
+  s.pipeline_batches = 116;
+  s.pipeline_rows_selected = 117;
   s.idle_wait_seconds = 113.25;
   s.trace_dropped = 114;
   const std::string str = s.ToString();
   const auto counters = s.Counters();
-  ASSERT_EQ(counters.size(), 15u)
+  ASSERT_EQ(counters.size(), 17u)
       << "EvalStats grew a field: stamp it above and list it in Counters()";
   std::set<double> sentinels;
   for (const auto& [name, value] : counters) {
@@ -404,12 +406,122 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
         << "counter missing from ToString: " << name;
     sentinels.insert(value);
   }
-  // All 15 sentinels distinct → every field is wired to its own name, not
+  // All 17 sentinels distinct → every field is wired to its own name, not
   // copy-pasted from a neighbour.
-  EXPECT_EQ(sentinels.size(), 15u);
+  EXPECT_EQ(sentinels.size(), 17u);
   EXPECT_NE(str.find("tuples_emitted"), std::string::npos);
   EXPECT_NE(str.find("107"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Executor ablation: every correctness scenario below runs under both the
+// batch-at-a-time executor (default) and the tuple-at-a-time baseline, the
+// same way RecursiveTableModes parameterizes the merge-index backends.
+
+class EnginePipelines : public ::testing::TestWithParam<PipelineExecutor> {
+ protected:
+  EngineOptions POpts(uint32_t workers, CoordinationMode mode) const {
+    EngineOptions o = Opts(workers, mode);
+    o.pipeline_executor = GetParam();
+    return o;
+  }
+
+  // Runs `program` over `g` loaded as "arc" and returns `pred`'s rows.
+  std::set<std::vector<uint64_t>> RunRows(const EngineOptions& o,
+                                          const Graph& g,
+                                          const std::string& program,
+                                          const std::string& pred) {
+    DCDatalog db(o);
+    db.AddGraph(g, "arc");
+    EXPECT_TRUE(db.LoadProgramText(program).ok());
+    auto stats = db.Run();
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (!stats.ok()) return {};
+    return RowSet(*db.ResultFor(pred));
+  }
+
+  // Single-worker tuple-executor run — the oracle both executors must match.
+  std::set<std::vector<uint64_t>> OracleRows(const Graph& g,
+                                             const std::string& program,
+                                             const std::string& pred) {
+    EngineOptions o = Opts(1, CoordinationMode::kGlobal);
+    o.pipeline_executor = PipelineExecutor::kTuple;
+    return RunRows(o, g, program, pred);
+  }
+};
+
+TEST_P(EnginePipelines, TcMatchesOracleAcrossWorkerCounts) {
+  Graph g = GenerateGnp(50, 0.05, 77);
+  auto oracle = OracleRows(g, kTc, "tc");
+  ASSERT_FALSE(oracle.empty());
+  for (uint32_t workers : {1, 2, 4}) {
+    EXPECT_EQ(RunRows(POpts(workers, CoordinationMode::kDws), g, kTc, "tc"),
+              oracle)
+        << workers << " workers";
+  }
+}
+
+TEST_P(EnginePipelines, FiltersBindsAndNegationAgree) {
+  // Exercises int filters (the batch executor's fast path), arithmetic
+  // binds, and both anti-join flavors via negation against a base relation.
+  const std::string program =
+      "tc(X, Y) :- arc(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n"
+      "far(X, Y) :- tc(X, Y), Y > 10, X < 40.\n"
+      "score(X, S) :- tc(X, Y), S = X * 100 + Y.\n"
+      "implied(X, Y) :- tc(X, Y), !arc(X, Y).\n";
+  Graph g = GenerateGnp(60, 0.04, 21);
+  for (const char* pred : {"far", "score", "implied"}) {
+    auto oracle = OracleRows(g, program, pred);
+    EXPECT_EQ(RunRows(POpts(3, CoordinationMode::kDws), g, program, pred),
+              oracle)
+        << pred;
+    EXPECT_FALSE(oracle.empty()) << pred;
+  }
+}
+
+TEST_P(EnginePipelines, AggregatesAgree) {
+  const std::string program =
+      "tc(X, Y) :- arc(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n"
+      "best(X, min<Y>) :- tc(X, Y).\n"
+      "fanout(X, count<Y>) :- tc(X, Y).\n";
+  Graph g = GenerateGnp(40, 0.06, 9);
+  for (const char* pred : {"best", "fanout"}) {
+    auto oracle = OracleRows(g, program, pred);
+    EXPECT_EQ(RunRows(POpts(4, CoordinationMode::kDws), g, program, pred),
+              oracle)
+        << pred;
+    EXPECT_FALSE(oracle.empty()) << pred;
+  }
+}
+
+TEST_P(EnginePipelines, PipelineCountersTrackExecutor) {
+  DCDatalog db(POpts(2, CoordinationMode::kDws));
+  Graph g = GenerateGnp(50, 0.05, 77);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  auto stats = db.Run();
+  ASSERT_TRUE(stats.ok());
+  if (GetParam() == PipelineExecutor::kBatch) {
+    EXPECT_GT(stats.value().pipeline_batches, 0u);
+    EXPECT_GT(stats.value().pipeline_rows_selected, 0u);
+    // Batches are at most kBatchPipelineLanes rows, so there are at least
+    // rows / 256 of them; and no batch is counted without admitted rows.
+    EXPECT_GE(stats.value().pipeline_rows_selected,
+              stats.value().pipeline_batches);
+  } else {
+    EXPECT_EQ(stats.value().pipeline_batches, 0u);
+    EXPECT_EQ(stats.value().pipeline_rows_selected, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ablations, EnginePipelines,
+    ::testing::Values(PipelineExecutor::kBatch, PipelineExecutor::kTuple),
+    [](const ::testing::TestParamInfo<PipelineExecutor>& info) {
+      return std::string(PipelineExecutorName(info.param));
+    });
 
 TEST(EngineTest, OutputsDirectiveSurvivesPlanning) {
   DCDatalog db(Opts(2, CoordinationMode::kDws));

@@ -23,6 +23,8 @@
 //   --no-agg-index --no-cache --no-partial-agg   disable §6.2/Fig.7 opts
 //   --merge-index-backend flat|btree   merge-path index family (default
 //                      flat; btree is the Table 4 ablation baseline)
+//   --pipeline-executor batch|tuple    rule-pipeline executor (default
+//                      batch; tuple is the ablation baseline)
 //   --out pred=path    write one predicate to a file (repeatable)
 //   --stats            print EvalStats
 //   --seed N           generator seed (default 42)
@@ -150,6 +152,18 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       } else {
         std::fprintf(stderr,
                      "--merge-index-backend expects flat|btree, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+    } else if (arg == "--pipeline-executor") {
+      const char* v = next();
+      if (v && std::strcmp(v, "batch") == 0) {
+        opts->engine.pipeline_executor = PipelineExecutor::kBatch;
+      } else if (v && std::strcmp(v, "tuple") == 0) {
+        opts->engine.pipeline_executor = PipelineExecutor::kTuple;
+      } else {
+        std::fprintf(stderr,
+                     "--pipeline-executor expects batch|tuple, got '%s'\n",
                      v ? v : "(nothing)");
         return false;
       }

@@ -22,6 +22,9 @@
 //   --backends=a,b     subset of flat,btree — the merge-index backends each
 //                      case runs under (default both, so the two backends
 //                      are diffed against the same oracle)
+//   --pipelines=a,b    subset of batch,tuple — the rule-pipeline executors
+//                      each case runs under (default both, diffing the
+//                      vectorized executor against the tuple baseline)
 //   --max-vertices=N   EDB size cap for the generator (default 60)
 //   --timeout-ms=N     per-run wall clock before a child counts as hung
 //                      (default 20000)
@@ -122,6 +125,8 @@ struct FuzzFlags {
   std::vector<uint32_t> workers = {1, 2, 4};
   std::vector<MergeIndexBackend> backends = {MergeIndexBackend::kFlat,
                                              MergeIndexBackend::kBtree};
+  std::vector<PipelineExecutor> pipelines = {PipelineExecutor::kBatch,
+                                             PipelineExecutor::kTuple};
   uint64_t max_vertices = 60;
   uint64_t timeout_ms = 20000;
   uint64_t max_iters = 200000;
@@ -185,6 +190,26 @@ bool ParseBackends(const std::string& list,
   return !out->empty();
 }
 
+bool ParsePipelines(const std::string& list,
+                    std::vector<PipelineExecutor>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string p = list.substr(pos, comma - pos);
+    if (p == "batch") {
+      out->push_back(PipelineExecutor::kBatch);
+    } else if (p == "tuple") {
+      out->push_back(PipelineExecutor::kTuple);
+    } else {
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
 bool ParseWorkers(const std::string& list, std::vector<uint32_t>* out) {
   out->clear();
   size_t pos = 0;
@@ -229,6 +254,8 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       if (!ParseWorkers(v, &flags->workers)) return false;
     } else if ((v = value("--backends"))) {
       if (!ParseBackends(v, &flags->backends)) return false;
+    } else if ((v = value("--pipelines"))) {
+      if (!ParsePipelines(v, &flags->pipelines)) return false;
     } else if ((v = value("--max-vertices"))) {
       flags->max_vertices = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--timeout-ms"))) {
@@ -392,11 +419,13 @@ std::string ModeFlag(CoordinationMode mode) {
 }
 
 RunConfig MakeConfig(const FuzzFlags& flags, CoordinationMode mode,
-                     uint32_t workers, MergeIndexBackend backend) {
+                     uint32_t workers, MergeIndexBackend backend,
+                     PipelineExecutor pipeline) {
   RunConfig config;
   config.mode = mode;
   config.num_workers = workers;
   config.merge_backend = backend;
+  config.pipeline = pipeline;
   config.max_global_iterations = flags.max_iters;
   return config;
 }
@@ -410,8 +439,9 @@ size_t RuleCount(const std::string& program) {
 void WriteRepro(const FuzzFlags& flags, const std::string& stem,
                 const FuzzCase& original, RunResult verdict,
                 CoordinationMode mode, uint32_t orig_workers,
-                MergeIndexBackend backend, const FuzzCase& reduced,
-                uint32_t reduced_workers, uint32_t probes) {
+                MergeIndexBackend backend, PipelineExecutor pipeline,
+                const FuzzCase& reduced, uint32_t reduced_workers,
+                uint32_t probes) {
   const std::string base = flags.out_dir + "/" + stem;
   {
     std::ofstream dl(base + ".dl");
@@ -428,6 +458,7 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << "verdict: " << RunResultName(verdict) << "\n"
          << "mode: " << ModeName(mode) << "\n"
          << "merge backend: " << MergeIndexBackendName(backend) << "\n"
+         << "pipeline executor: " << PipelineExecutorName(pipeline) << "\n"
          << "workers: " << orig_workers << " (minimized to "
          << reduced_workers << ")\n"
          << "shrink probes: " << probes << "\n"
@@ -443,6 +474,7 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << ".edges --modes=" << ModeFlag(mode)
          << " --workers=" << reduced_workers
          << " --backends=" << MergeIndexBackendName(backend)
+         << " --pipelines=" << PipelineExecutorName(pipeline)
          << (flags.chaos ? " --chaos" : "")
          << (flags.inject_bug.empty()
                  ? ""
@@ -459,7 +491,8 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
 /// a crash/hang child simply leaves no trace file behind.
 void DumpReproTrace(const FuzzFlags& flags, const std::string& stem,
                     const FuzzCase& reduced, CoordinationMode mode,
-                    uint32_t workers, MergeIndexBackend backend) {
+                    uint32_t workers, MergeIndexBackend backend,
+                    PipelineExecutor pipeline) {
   const std::string path = flags.out_dir + "/" + stem + ".trace.json";
   const pid_t pid = fork();
   if (pid < 0) {
@@ -469,7 +502,7 @@ void DumpReproTrace(const FuzzFlags& flags, const std::string& stem,
   if (pid == 0) {
     EvalStats stats;
     const RunOutcome out = testing_gen::RunEngineTraced(
-        reduced, MakeConfig(flags, mode, workers, backend), &stats);
+        reduced, MakeConfig(flags, mode, workers, backend, pipeline), &stats);
     // Only a completed run yields stats; mismatches complete (the diff is
     // the parent's verdict, not the engine's), so the common failure modes
     // all get a timeline.
@@ -539,13 +572,15 @@ int RunReplay(const FuzzFlags& flags) {
   for (CoordinationMode mode : flags.modes) {
     for (uint32_t workers : flags.workers) {
       for (MergeIndexBackend backend : flags.backends) {
-        const RunResult r =
-            RunIsolated(c, MakeConfig(flags, mode, workers, backend), oracle,
-                        flags, run_index++);
-        std::printf("replay %s x%u %s: %s\n", ModeName(mode).c_str(),
-                    workers, MergeIndexBackendName(backend),
-                    RunResultName(r));
-        if (IsFailure(r)) ++failures;
+        for (PipelineExecutor pipeline : flags.pipelines) {
+          const RunResult r = RunIsolated(
+              c, MakeConfig(flags, mode, workers, backend, pipeline), oracle,
+              flags, run_index++);
+          std::printf("replay %s x%u %s %s: %s\n", ModeName(mode).c_str(),
+                      workers, MergeIndexBackendName(backend),
+                      PipelineExecutorName(pipeline), RunResultName(r));
+          if (IsFailure(r)) ++failures;
+        }
       }
     }
   }
@@ -602,15 +637,18 @@ int FuzzMain(int argc, char** argv) {
     for (CoordinationMode mode : flags.modes) {
       for (uint32_t workers : flags.workers) {
       for (MergeIndexBackend backend : flags.backends) {
-        const RunConfig config = MakeConfig(flags, mode, workers, backend);
+      for (PipelineExecutor pipeline : flags.pipelines) {
+        const RunConfig config =
+            MakeConfig(flags, mode, workers, backend, pipeline);
         const RunResult r =
             RunIsolated(c, config, oracle, flags, run_index++);
         ++runs;
         if (flags.verbose || IsFailure(r)) {
-          std::printf("seed %llu %s x%u %s: %s\n",
+          std::printf("seed %llu %s x%u %s %s: %s\n",
                       static_cast<unsigned long long>(seed),
                       ModeName(mode).c_str(), workers,
-                      MergeIndexBackendName(backend), RunResultName(r));
+                      MergeIndexBackendName(backend),
+                      PipelineExecutorName(pipeline), RunResultName(r));
         }
         if (!IsFailure(r)) continue;
 
@@ -635,25 +673,27 @@ int FuzzMain(int argc, char** argv) {
               candidate, /*max_rounds=*/100000, &probe_oracle);
           if (probe_ref.kind != OutcomeKind::kAgree) return false;
           const RunConfig probe =
-              MakeConfig(flags, mode, probe_workers, backend);
+              MakeConfig(flags, mode, probe_workers, backend, pipeline);
           return IsFailure(RunIsolated(candidate, probe, probe_oracle,
                                        flags, run_index++));
         };
-        std::printf("seed %llu %s x%u %s: shrinking...\n",
+        std::printf("seed %llu %s x%u %s %s: shrinking...\n",
                     static_cast<unsigned long long>(seed),
                     ModeName(mode).c_str(), workers,
-                    MergeIndexBackendName(backend));
+                    MergeIndexBackendName(backend),
+                    PipelineExecutorName(pipeline));
         std::fflush(stdout);
         const testing_gen::MinimizeResult reduced =
             testing_gen::Minimize(c, workers, still_fails);
         const std::string stem = "seed" + std::to_string(seed) + "_" +
                                  ModeFlag(mode) + "_w" +
                                  std::to_string(workers) + "_" +
-                                 MergeIndexBackendName(backend);
-        WriteRepro(flags, stem, c, r, mode, workers, backend,
+                                 MergeIndexBackendName(backend) + "_" +
+                                 PipelineExecutorName(pipeline);
+        WriteRepro(flags, stem, c, r, mode, workers, backend, pipeline,
                    reduced.reduced, reduced.num_workers, reduced.probes);
         DumpReproTrace(flags, stem, reduced.reduced, mode,
-                       reduced.num_workers, backend);
+                       reduced.num_workers, backend, pipeline);
         std::printf(
             "seed %llu %s x%u: minimized to %zu rules / %llu edges / %u "
             "workers (%u probes) -> %s/%s.*\n",
@@ -669,6 +709,7 @@ int FuzzMain(int argc, char** argv) {
                       static_cast<unsigned long long>(runs));
           return 1;
         }
+      }
       }
       }
     }

@@ -69,6 +69,8 @@ HOT_PATH_FILES = {
     "src/runtime/recursive_table.cc",
     "src/runtime/pipeline.h",
     "src/runtime/pipeline.cc",
+    "src/runtime/batch_pipeline.h",
+    "src/runtime/batch_pipeline.cc",
     "src/runtime/expr_eval.h",
     "src/runtime/expr_eval.cc",
     "src/runtime/base_index_set.h",
@@ -111,9 +113,20 @@ HOT_LOOP_FUNCTIONS = {
         "MergeSum", "PushDelta",
     ],
     "src/runtime/pipeline.cc": [
-        "ExecuteFrom", "RunPipelineForTuple", "ApplyChecksAndBind",
-        "BuildWireTuple",
+        "ExecuteFrom", "RunPipelineForTuple", "BuildWireTuple",
     ],
+    # The shared step-compilation helpers both executors inline per tuple.
+    "src/runtime/pipeline.h": [
+        "ApplyChecksAndBindStrided", "StepChecksMatch",
+        "ApplyDrivingScanStrided",
+    ],
+    # Begin is deliberately absent: it runs once per rule and owns the
+    # growth-only level allocation; everything below runs per batch/lane.
+    "src/runtime/batch_pipeline.cc": [
+        "Push", "RunBatch", "FlushLevel", "RunSteps", "RunExpanding",
+        "RunFilter", "RunBind", "RunAntiJoin", "EmitLevel",
+    ],
+    "src/runtime/batch_pipeline.h": ["CopyLane"],
     "src/core/engine.cc": [
         "GatherAll", "PushWithBackpressure", "LocalIteration", "InactiveWait",
         "GlobalLoop", "SspLoop", "DwsLoop", "UpdateDws",
