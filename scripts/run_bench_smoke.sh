@@ -1,31 +1,40 @@
 #!/usr/bin/env bash
 # Bench smoke for the committed ablation baselines: runs the flat-vs-btree
 # merge microbenches (the PR 5 / Table 4 axis), the batch-vs-tuple pipeline
-# executor microbenches (the PR 6 axis), and the end-to-end TC engine bench,
-# then emits BENCH_PR5.json and BENCH_PR6.json at the repository root.
+# executor microbenches (the PR 6 axis), the incremental-vs-recompute pair
+# (the PR 7 axis), and the end-to-end TC engine bench, then emits
+# BENCH_PR5.json, BENCH_PR6.json, and BENCH_PR7.json at the repository root.
 #
 # Usage:
-#   scripts/run_bench_smoke.sh                   # measure, write both JSONs
+#   scripts/run_bench_smoke.sh                   # measure, write all JSONs
 #   scripts/run_bench_smoke.sh --check FILE      # also fail if the flat
 #                                                # merge path regressed >20%
 #                                                # vs the baseline FILE
 #   scripts/run_bench_smoke.sh --check-pr6 FILE  # also fail if the batch
 #                                                # pipeline executor
 #                                                # regressed >20% vs FILE
+#   scripts/run_bench_smoke.sh --check-pr7 FILE  # also fail if a single-edge
+#                                                # incremental insert
+#                                                # regressed >20% vs FILE or
+#                                                # its speedup over a scratch
+#                                                # recompute fell below 10x
 #
 # Environment:
 #   BUILD_DIR=<dir>   build tree containing bench/micro_components
 #                     (default: build)
 #   OUT=<file>        PR 5 output path (default: BENCH_PR5.json)
 #   OUT6=<file>       PR 6 output path (default: BENCH_PR6.json)
+#   OUT7=<file>       PR 7 output path (default: BENCH_PR7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${OUT:-BENCH_PR5.json}"
 OUT6="${OUT6:-BENCH_PR6.json}"
+OUT7="${OUT7:-BENCH_PR7.json}"
 BASELINE=""
 BASELINE6=""
+BASELINE7=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --check)
@@ -34,6 +43,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --check-pr6)
       BASELINE6="${2:?--check-pr6 needs a baseline file}"
+      shift 2
+      ;;
+    --check-pr7)
+      BASELINE7="${2:?--check-pr7 needs a baseline file}"
       shift 2
       ;;
     *)
@@ -54,16 +67,19 @@ trap 'rm -f "$RAW"' EXIT
 
 # One process, one JSON: the 1M-tuple kNone dedup merge on both backends,
 # the min-merge ablation trio plus its flat twin, both rule-pipeline
-# executors on the filter+probe workload, and the end-to-end TC run.
+# executors on the filter+probe workload, the incremental-vs-recompute TC
+# maintenance pair, and the end-to-end TC run.
 "$BENCH" \
-  --benchmark_filter='BM_MergeNone(Flat|Btree)|BM_MergeMin(Indexed|IndexedNoCache|LinearScan|Flat)$|BM_Pipeline(Tuple|Batch)$|BM_EngineTcTraceOff|BM_EngineTcTupleExec' \
+  --benchmark_filter='BM_MergeNone(Flat|Btree)|BM_MergeMin(Indexed|IndexedNoCache|LinearScan|Flat)$|BM_Pipeline(Tuple|Batch)$|BM_EngineTcTraceOff|BM_EngineTcTupleExec|BM_EngineTcIncrementalInsert|BM_EngineTcScratchRecompute' \
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >&2
 
-python3 - "$RAW" "$OUT" "$OUT6" "$BASELINE" "$BASELINE6" <<'PY'
+python3 - "$RAW" "$OUT" "$OUT6" "$OUT7" "$BASELINE" "$BASELINE6" \
+  "$BASELINE7" <<'PY'
 import json, sys
 
-raw_path, out_path, out6_path, baseline_path, baseline6_path = sys.argv[1:6]
+(raw_path, out_path, out6_path, out7_path, baseline_path, baseline6_path,
+ baseline7_path) = sys.argv[1:8]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -126,6 +142,22 @@ with open(out6_path, "w") as f:
     f.write("\n")
 print(json.dumps(result6, indent=2))
 
+inc = ms("BM_EngineTcIncrementalInsert")
+scratch = ms("BM_EngineTcScratchRecompute")
+result7 = {
+    "bench": "incremental maintenance ablation (PR 7)",
+    "workload": "single fresh-source edge insert into the maintained TC "
+                "fixpoint of gnp:1000:0.003 (4 workers, DWS) vs a full "
+                "from-scratch recompute of the same fixpoint",
+    "incremental_insert_ms": inc,
+    "scratch_recompute_ms": scratch,
+    "incremental_speedup": round(scratch / inc, 1) if inc and scratch else None,
+}
+with open(out7_path, "w") as f:
+    json.dump(result7, f, indent=2)
+    f.write("\n")
+print(json.dumps(result7, indent=2))
+
 if baseline_path:
     with open(baseline_path) as f:
         base = json.load(f)
@@ -151,4 +183,28 @@ if baseline6_path:
         )
         sys.exit(1)
     print(f"check OK: batch {batch} Mtuples/s vs baseline {base_batch}")
+
+if baseline7_path:
+    with open(baseline7_path) as f:
+        base7 = json.load(f)
+    base_inc = base7.get("incremental_insert_ms")
+    if base_inc and inc is not None and inc > 1.2 * base_inc:
+        print(
+            f"FAIL: incremental insert regressed: {inc} ms vs baseline "
+            f"{base_inc} ms (>20% slower)",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    speedup = result7["incremental_speedup"]
+    if speedup is not None and speedup < 10:
+        print(
+            f"FAIL: incremental speedup {speedup}x over scratch recompute "
+            f"is below the 10x floor",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(
+        f"check OK: incremental {inc} ms vs baseline {base_inc} ms, "
+        f"speedup {speedup}x"
+    )
 PY

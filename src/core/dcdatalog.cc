@@ -30,6 +30,7 @@ Status DCDatalog::LoadProgramText(std::string_view source) {
   auto parsed = ParseProgram(source, &dict_);
   if (!parsed.ok()) return parsed.status();
   program_ = std::make_unique<Program>(std::move(parsed).value());
+  engine_.reset();  // Retained incremental state is for the old program.
   return Status::OK();
 }
 
@@ -45,8 +46,33 @@ Result<EvalStats> DCDatalog::Run() {
   if (program_ == nullptr) {
     return Status::InvalidArgument("no program loaded");
   }
+  engine_.reset();  // A from-scratch run invalidates any retained state.
   Engine engine(&catalog_, options_);
   return engine.Run(*program_);
+}
+
+Result<EvalStats> DCDatalog::BeginIncremental() {
+  if (program_ == nullptr) {
+    return Status::InvalidArgument("no program loaded");
+  }
+  engine_ = std::make_unique<Engine>(&catalog_, options_);
+  Result<EvalStats> run = engine_->BeginIncremental(*program_);
+  if (!run.ok()) engine_.reset();
+  return run;
+}
+
+Result<EvalStats> DCDatalog::ApplyUpdates(const UpdateBatch& batch) {
+  DCD_ASSIGN_OR_RETURN(ResolvedUpdateBatch resolved,
+                       ResolveUpdateBatch(batch, catalog_, &dict_));
+  return ApplyUpdates(resolved);
+}
+
+Result<EvalStats> DCDatalog::ApplyUpdates(const ResolvedUpdateBatch& batch) {
+  if (engine_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyUpdates requires BeginIncremental first");
+  }
+  return engine_->ApplyUpdates(batch);
 }
 
 const Relation* DCDatalog::ResultFor(const std::string& name) const {

@@ -64,6 +64,26 @@ class DCDatalog {
   /// materialized into the catalog.
   Result<EvalStats> Run();
 
+  // --- Incremental evaluation ----------------------------------------------
+
+  /// Evaluates the loaded program to fixpoint and keeps the engine's
+  /// per-worker merge structures alive so later ApplyUpdates calls can
+  /// maintain the fixpoint from deltas instead of recomputing. Any prior
+  /// incremental session on this instance is discarded.
+  Result<EvalStats> BeginIncremental();
+
+  /// Applies one batch of EDB inserts/deletes (an UpdateBatch of textual
+  /// ops, resolved against the catalog schemas) and restores the fixpoint
+  /// incrementally. Requires BeginIncremental first.
+  Result<EvalStats> ApplyUpdates(const UpdateBatch& batch);
+
+  /// Same, for a batch whose values are already resolved to column words.
+  Result<EvalStats> ApplyUpdates(const ResolvedUpdateBatch& batch);
+
+  bool incremental_active() const {
+    return engine_ != nullptr && engine_->incremental_active();
+  }
+
   /// Returns the materialized relation for a (derived or base) predicate,
   /// or nullptr before Run().
   const Relation* ResultFor(const std::string& name) const;
@@ -85,6 +105,8 @@ class DCDatalog {
   Catalog catalog_;
   StringDict dict_;
   std::unique_ptr<Program> program_;
+  /// Live only between BeginIncremental and the next LoadProgram*/Run.
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace dcdatalog

@@ -1,0 +1,96 @@
+#include "core/dred.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcdatalog {
+
+std::string DredOldName(const std::string& pred) {
+  return "__dred_old_" + pred;
+}
+std::string DredRmName(const std::string& pred) { return "__dred_rm_" + pred; }
+std::string DredDName(const std::string& pred) { return "__dred_d_" + pred; }
+std::string DredSeedName(const std::string& pred) {
+  return "__dred_seed_" + pred;
+}
+
+Result<Program> BuildDeleteClosureProgram(
+    const Program& program, const ProgramAnalysis& analysis, int scc_id,
+    const std::set<std::string>& removed_rels) {
+  const SccInfo& scc = analysis.sccs()[scc_id];
+  const std::set<std::string> scc_preds(scc.predicates.begin(),
+                                        scc.predicates.end());
+
+  Program closure;
+  for (int r : scc.rule_indices) {
+    const Rule& rule = program.rules[r];
+    if (rule.head.HasAggregate()) {
+      return Status::Unsupported(
+          "DRed deletion closure over aggregate rule for '" +
+          rule.head.predicate + "'; aggregate deletes require full recompute");
+    }
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const BodyLiteral& target = rule.body[j];
+      if (target.kind != BodyLiteral::Kind::kAtom || target.negated) continue;
+      const std::string& p = target.atom.predicate;
+      const bool internal = scc_preds.count(p) > 0;
+      if (!internal && removed_rels.count(p) == 0) continue;
+
+      Rule drule;
+      drule.line = rule.line;
+      drule.head = rule.head;
+      drule.head.predicate = DredDName(rule.head.predicate);
+      drule.body.reserve(rule.body.size());
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        BodyLiteral lit = rule.body[i].Clone();
+        if (lit.kind == BodyLiteral::Kind::kAtom) {
+          if (i == j) {
+            lit.atom.predicate = internal ? DredDName(p) : DredRmName(p);
+          } else {
+            lit.atom.predicate = DredOldName(lit.atom.predicate);
+          }
+        }
+        drule.body.push_back(std::move(lit));
+      }
+      closure.rules.push_back(std::move(drule));
+    }
+  }
+  for (const std::string& p : scc.predicates) {
+    closure.outputs.push_back(DredDName(p));
+  }
+  return closure;
+}
+
+Result<Program> BuildRederiveProgram(const Program& program,
+                                     const ProgramAnalysis& analysis,
+                                     int scc_id) {
+  const SccInfo& scc = analysis.sccs()[scc_id];
+
+  Program rederive;
+  for (const std::string& p : scc.predicates) {
+    const PredicateInfo& info = analysis.predicate(p);
+    Rule seed;
+    seed.head.predicate = p;
+    Atom seed_atom;
+    seed_atom.predicate = DredSeedName(p);
+    for (uint32_t c = 0; c < info.arity; ++c) {
+      Term v = Term::Variable("X" + std::to_string(c));
+      seed_atom.args.push_back(v);
+      HeadArg arg;
+      arg.terms.push_back(std::move(v));
+      seed.head.args.push_back(std::move(arg));
+    }
+    BodyLiteral lit;
+    lit.kind = BodyLiteral::Kind::kAtom;
+    lit.atom = std::move(seed_atom);
+    seed.body.push_back(std::move(lit));
+    rederive.rules.push_back(std::move(seed));
+  }
+  for (int r : scc.rule_indices) {
+    rederive.rules.push_back(program.rules[r].Clone());
+  }
+  rederive.outputs = scc.predicates;
+  return rederive;
+}
+
+}  // namespace dcdatalog

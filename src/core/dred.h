@@ -1,0 +1,65 @@
+#ifndef DCDATALOG_CORE_DRED_H_
+#define DCDATALOG_CORE_DRED_H_
+
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "datalog/analysis.h"
+#include "datalog/ast.h"
+
+namespace dcdatalog {
+
+/// DRed (delete-and-rederive) maintenance is implemented as a program
+/// transformation: deletions over a recursive SCC become two ordinary
+/// Datalog programs evaluated by the regular parallel engine against
+/// temporary catalogs, so the maintenance path reuses the exact join,
+/// routing, and fixpoint machinery the from-scratch path runs (and that
+/// the fuzzer exercises).
+///
+/// Name mangling for the auxiliary relations (all double-underscore
+/// prefixed, so they cannot collide with user predicates, which the lexer
+/// restricts to identifier syntax):
+///   __dred_old_<p>   snapshot of p before the deletion batch
+///   __dred_rm_<p>    rows removed from p this batch (external inputs)
+///   __dred_d_<p>     over-approximated deleted tuples of SCC predicate p
+///   __dred_seed_<p>  survivors (old minus deleted) seeding re-derivation
+std::string DredOldName(const std::string& pred);
+std::string DredRmName(const std::string& pred);
+std::string DredDName(const std::string& pred);
+std::string DredSeedName(const std::string& pred);
+
+/// Builds the over-deletion closure program for one SCC. For every rule of
+/// the SCC and every positive body atom over a removal-affected relation
+/// (a member of `removed_rels`, or any same-SCC predicate — internal
+/// deletions always propagate), emits one rule deriving
+/// __dred_d_<head> with that atom renamed to __dred_rm_<p> (external) or
+/// __dred_d_<p> (internal) and every other positive atom renamed to its
+/// __dred_old_<p> snapshot. Negated atoms and constraints are copied with
+/// the negated predicate renamed to its old snapshot (eligibility analysis
+/// guarantees negated predicates are never removal-affected). Each emitted
+/// rule has at most one recursive goal, driven first, with no recursive
+/// probes — closure programs always plan.
+///
+/// The SCC's rules must be aggregate-free; aggregate deletions fall back
+/// to full recomputation before this is reached.
+Result<Program> BuildDeleteClosureProgram(
+    const Program& program, const ProgramAnalysis& analysis, int scc_id,
+    const std::set<std::string>& removed_rels);
+
+/// Builds the re-derivation program for one SCC: one seed rule
+/// `p(...) :- __dred_seed_<p>(...)` per SCC predicate plus verbatim copies
+/// of the SCC's original rules. Evaluated against a catalog holding the
+/// survivor seeds and the corrected (post-deletion) values of every
+/// external relation, its fixpoint is exactly the SCC's corrected
+/// contents: survivors are a subset of the true fixpoint (a tuple outside
+/// the deletion closure has a derivation avoiding every removed row), and
+/// re-running the rules to fixpoint adds back precisely the over-deleted
+/// tuples that remain derivable.
+Result<Program> BuildRederiveProgram(const Program& program,
+                                     const ProgramAnalysis& analysis,
+                                     int scc_id);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_CORE_DRED_H_

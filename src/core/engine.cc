@@ -1,11 +1,16 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include "core/dred.h"
 
 #include "common/chaos.h"
 #include "common/hash.h"
@@ -45,13 +50,39 @@ struct BlockQueue {
   std::atomic<uint64_t> tuples{0};
 };
 
+/// Wiring between one SccExecutor run and the engine's incremental session
+/// state. With `retained` set, the executor hands its per-worker replica
+/// tables back to the engine after the run (instead of dropping them), so
+/// the next update batch can adopt them and continue from the previous
+/// fixpoint.
+struct IncrementalHooks {
+  /// Per-worker replica sets for this SCC, owned by the engine between
+  /// runs. Sized num_workers by the caller.
+  std::vector<std::vector<std::unique_ptr<RecursiveTable>>>* retained =
+      nullptr;
+  /// Adopt the retained tables (update mode) instead of building fresh
+  /// ones. Each worker rebinds the tables' debug writer affinity to itself.
+  bool adopt = false;
+  /// On fresh builds, enable support counting on kNone flat tables so the
+  /// counting delete path can maintain them later.
+  bool enable_counts = false;
+  /// Phase 0 drives the SCC's update rules over rows past the relation
+  /// watermarks instead of the base rules over whole relations, and
+  /// materialization is left to the engine (watermark-append).
+  bool update_mode = false;
+  /// Relation name -> row count before this batch's appends. Missing
+  /// entries mean "nothing new".
+  const std::map<std::string, uint64_t>* watermarks = nullptr;
+};
+
 /// Runs one SCC of the plan with n workers under the configured strategy.
 class SccExecutor {
  public:
   SccExecutor(const PhysicalPlan& plan, const SccPlan& scc, Catalog* catalog,
               BaseIndexSet* base_indexes, const EngineOptions& options,
-              uint32_t scc_ordinal = 0)
-      : plan_(plan),
+              uint32_t scc_ordinal = 0, const IncrementalHooks* hooks = nullptr)
+      : hooks_(hooks),
+        plan_(plan),
         scc_(scc),
         catalog_(catalog),
         base_indexes_(base_indexes),
@@ -86,8 +117,15 @@ class SccExecutor {
           "evaluation exceeded max_global_iterations (" +
           std::to_string(options_.max_global_iterations) + ")");
     }
-    MaterializeResults();
+    // Update mode appends only the new rows; the engine does that from the
+    // retained tables' watermarks, so the full rewrite here is skipped.
+    if (hooks_ == nullptr || !hooks_->update_mode) MaterializeResults();
     CollectStats(stats);
+    if (hooks_ != nullptr && hooks_->retained != nullptr) {
+      for (uint32_t w = 0; w < n_; ++w) {
+        (*hooks_->retained)[w] = std::move(worker_replicas_[w]);
+      }
+    }
     return Status::OK();
   }
 
@@ -194,13 +232,27 @@ class SccExecutor {
     ctx.exec = this;
     ctx.Instant(TraceEventKind::kSccBegin, 0, scc_ordinal_);
 
-    // Build this worker's replica partitions (first-touch local).
+    // Build this worker's replica partitions (first-touch local), or adopt
+    // the incremental session's retained tables and continue from the
+    // previous fixpoint.
     auto& replicas = worker_replicas_[wid];
-    for (const ReplicaSpec& spec : scc_.replicas) {
-      replicas.push_back(std::make_unique<RecursiveTable>(
-          spec.predicate, plan_.schemas.at(spec.predicate),
-          plan_.agg_specs.at(spec.predicate), spec.partition_col,
-          spec.needs_join_index, options_));
+    if (hooks_ != nullptr && hooks_->adopt) {
+      replicas = std::move((*hooks_->retained)[wid]);
+      for (auto& table : replicas) {
+        table->RebindWriter();
+        table->ResetStats();
+      }
+    } else {
+      for (const ReplicaSpec& spec : scc_.replicas) {
+        replicas.push_back(std::make_unique<RecursiveTable>(
+            spec.predicate, plan_.schemas.at(spec.predicate),
+            plan_.agg_specs.at(spec.predicate), spec.partition_col,
+            spec.needs_join_index, options_));
+        if (hooks_ != nullptr && hooks_->enable_counts &&
+            replicas.back()->agg_spec().func == AggFunc::kNone) {
+          replicas.back()->EnableSupportCounts();
+        }
+      }
     }
     ctx.replicas = &replicas;
     ctx.gather_scratch.resize(replicas.size());
@@ -209,16 +261,19 @@ class SccExecutor {
     // base rules will feed it (driving-relation sizes, hash-partitioned
     // across n workers) so the first iterations of a TC-style run don't pay
     // growth rehashes. Setup path — the locked Catalog is fine here.
-    for (size_t r = 0; r < scc_.replicas.size(); ++r) {
-      const ReplicaSpec& spec = scc_.replicas[r];
-      uint64_t hint = 0;
-      for (const PhysicalRule& rule : scc_.base_rules) {
-        if (rule.head.predicate != spec.predicate) continue;
-        if (rule.driving_is_unit || rule.driving_relation.empty()) continue;
-        const Relation* rel = catalog_->Find(rule.driving_relation);
-        if (rel != nullptr) hint += rel->size();
+    // Adopted tables are already sized for the previous fixpoint.
+    if (hooks_ == nullptr || !hooks_->adopt) {
+      for (size_t r = 0; r < scc_.replicas.size(); ++r) {
+        const ReplicaSpec& spec = scc_.replicas[r];
+        uint64_t hint = 0;
+        for (const PhysicalRule& rule : scc_.base_rules) {
+          if (rule.head.predicate != spec.predicate) continue;
+          if (rule.driving_is_unit || rule.driving_relation.empty()) continue;
+          const Relation* rel = catalog_->Find(rule.driving_relation);
+          if (rel != nullptr) hint += rel->size();
+        }
+        if (hint > 0) replicas[r]->ReserveHint(hint / n_ + 1);
       }
-      if (hint > 0) replicas[r]->ReserveHint(hint / n_ + 1);
     }
 
     // Register scratch sized for the widest rule.
@@ -227,6 +282,9 @@ class SccExecutor {
       max_regs = std::max(max_regs, r.num_regs);
     }
     for (const PhysicalRule& r : scc_.delta_rules) {
+      max_regs = std::max(max_regs, r.num_regs);
+    }
+    for (const PhysicalRule& r : scc_.update_rules) {
       max_regs = std::max(max_regs, r.num_regs);
     }
     ctx.regs.assign(max_regs, 0);
@@ -244,9 +302,14 @@ class SccExecutor {
               TupleBuf::FromWords(wire, arity));
         });
 
-    // Phase 0: base rules. Results flow through Distribute/Gather exactly
-    // like recursive derivations.
-    RunBaseRules(&ctx);
+    // Phase 0: base rules (or, in update mode, the update rules over rows
+    // past the relation watermarks). Results flow through Distribute/Gather
+    // exactly like recursive derivations.
+    if (hooks_ != nullptr && hooks_->update_mode) {
+      RunUpdateRules(&ctx);
+    } else {
+      RunBaseRules(&ctx);
+    }
     ctx.distributor->Flush();
 
     // Phase 1: fixpoint loop under the coordination strategy. A
@@ -349,6 +412,71 @@ class SccExecutor {
       } else {
         for (uint64_t r = begin; r < end; ++r) {
           RunPipelineForTuple(rule, pctx, rel->Row(r), emit);
+        }
+      }
+    }
+  }
+
+  /// Update-mode phase 0: drive each update rule over its relation's rows
+  /// past the batch watermark. Rules whose probes touch recursive replicas
+  /// carry update_partition_col — the driving row must be processed by the
+  /// worker owning the probe key's partition (the replicas are
+  /// hash-partitioned, a worker only holds its own slice). Rules with no
+  /// recursive probes split the new rows by range instead.
+  void RunUpdateRules(WorkerContext* ctx) {
+    PipelineContext pctx;
+    pctx.catalog = catalog_;
+    pctx.base_indexes = base_indexes_;
+    pctx.replicas = ctx->replicas;
+    pctx.regs = ctx->regs.data();
+
+    const bool batch =
+        options_.pipeline_executor == PipelineExecutor::kBatch;
+    for (const PhysicalRule& rule : scc_.update_rules) {
+      const Relation* rel = catalog_->Find(rule.driving_relation);
+      if (rel == nullptr) continue;
+      const uint64_t size = rel->size();
+      uint64_t wm = size;
+      if (hooks_->watermarks != nullptr) {
+        auto it = hooks_->watermarks->find(rule.driving_relation);
+        if (it != hooks_->watermarks->end()) wm = it->second;
+      }
+      if (wm >= size) continue;
+      PreparePipeline(rule, &pctx);
+      RuleEmitCtx ectx{ctx, &rule};
+      const EmitSink emit{&EmitTupleThunk, &ectx};
+      const BatchEmitSink batch_emit{&EmitBatchThunk, ctx};
+      if (rule.update_partition_col >= 0) {
+        const uint32_t col = static_cast<uint32_t>(rule.update_partition_col);
+        if (batch) {
+          ctx->batch_runner.Begin(rule, &pctx, batch_emit);
+          for (uint64_t r = wm; r < size; ++r) {
+            TupleRef row = rel->Row(r);
+            if (PartitionOf(row.data[col], n_) != ctx->wid) continue;
+            ctx->batch_runner.Push(row);
+          }
+          ctx->batch_runner.Finish();
+        } else {
+          for (uint64_t r = wm; r < size; ++r) {
+            TupleRef row = rel->Row(r);
+            if (PartitionOf(row.data[col], n_) != ctx->wid) continue;
+            RunPipelineForTuple(rule, pctx, row, emit);
+          }
+        }
+      } else {
+        const uint64_t fresh = size - wm;
+        const uint64_t begin = wm + fresh * ctx->wid / n_;
+        const uint64_t end = wm + fresh * (ctx->wid + 1) / n_;
+        if (batch) {
+          ctx->batch_runner.Begin(rule, &pctx, batch_emit);
+          for (uint64_t r = begin; r < end; ++r) {
+            ctx->batch_runner.Push(rel->Row(r));
+          }
+          ctx->batch_runner.Finish();
+        } else {
+          for (uint64_t r = begin; r < end; ++r) {
+            RunPipelineForTuple(rule, pctx, rel->Row(r), emit);
+          }
         }
       }
     }
@@ -699,6 +827,7 @@ class SccExecutor {
     }
   }
 
+  const IncrementalHooks* hooks_ = nullptr;
   const PhysicalPlan& plan_;
   const SccPlan& scc_;
   Catalog* catalog_;
@@ -740,6 +869,9 @@ std::vector<std::pair<const char*, double>> EvalStats::Counters() const {
       {"pipeline_rows_selected", static_cast<double>(pipeline_rows_selected)},
       {"idle_wait_seconds", idle_wait_seconds},
       {"trace_dropped", static_cast<double>(trace_dropped)},
+      {"update_batches", static_cast<double>(update_batches)},
+      {"delta_tuples_in", static_cast<double>(delta_tuples_in)},
+      {"rederived_tuples", static_cast<double>(rederived_tuples)},
   };
 }
 
@@ -805,6 +937,759 @@ Result<EvalStats> Engine::RunPlan(const PhysicalPlan& plan) {
   }
   stats.seconds = timer.ElapsedSeconds();
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluation over streaming EDB updates
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Visits every base-index id referenced by any of the SCC's compiled rules
+/// (base, delta, and update versions).
+template <typename Fn>
+void ForEachSccIndexId(const SccPlan& scc, Fn&& fn) {
+  const auto scan = [&fn](const std::vector<PhysicalRule>& rules) {
+    for (const PhysicalRule& rule : rules) {
+      for (const Step& step : rule.steps) {
+        if (step.base_index_id >= 0) fn(step.base_index_id);
+      }
+    }
+  };
+  scan(scc.base_rules);
+  scan(scc.delta_rules);
+  scan(scc.update_rules);
+}
+
+/// True when every rule of the SCC has at most one positive body atom over
+/// an `affected` relation. The counting paths need this in both directions:
+/// on delete, a rule with two removal-affected atoms loses derivations
+/// whose exact count needs inclusion–exclusion (so decrement-driving each
+/// removed relation independently over-deletes); on insert, two
+/// insert-affected atoms mean the rule's update versions derive the
+/// new×new instantiations from both sides, over-incrementing the counts.
+bool AtMostOneAffectedAtomPerRule(const Program& program,
+                                  const ProgramAnalysis& analysis,
+                                  const SccPlan& scc,
+                                  const std::set<std::string>& affected) {
+  const SccInfo& info = analysis.sccs()[scc.scc_id];
+  for (int r : info.rule_indices) {
+    uint32_t hit = 0;
+    for (const BodyLiteral& lit : program.rules[r].body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom || lit.negated) continue;
+      if (affected.count(lit.atom.predicate) > 0) ++hit;
+    }
+    if (hit >= 2) return false;
+  }
+  return true;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+/// Everything an incremental session retains between ApplyUpdates batches:
+/// the augmented plan, the per-worker merge structures at the current
+/// fixpoint, the base indexes, and the row-count watermarks separating
+/// "already processed" from "newly arrived" rows.
+struct Engine::IncrementalState {
+  Program program;
+  ProgramAnalysis analysis;
+  PhysicalPlan plan;
+  /// False when the update-version augmentation failed outright; every
+  /// batch then takes the full-recompute fallback.
+  bool have_update_rules = false;
+
+  std::unique_ptr<BaseIndexSet> base_indexes;
+  /// Retained merge structures, [scc][worker][replica]. Moved into the
+  /// SccExecutor's workers for each batch and back out afterwards.
+  std::vector<std::vector<std::vector<std::unique_ptr<RecursiveTable>>>>
+      replicas;
+  /// rows() size of each retained table at the last sync, same shape —
+  /// rows past the watermark are the batch's new derivations, appended to
+  /// the catalog relation during materialization.
+  std::vector<std::vector<std::vector<uint64_t>>> replica_watermarks;
+  /// Per SCC: the support counts are live and exact, so the counting
+  /// delete path may use them. Cleared permanently (until the next full
+  /// run) when a batch's structure would let them drift.
+  std::vector<char> counts_valid;
+  /// Relation name → row count at the last sync.
+  std::map<std::string, uint64_t> rel_watermarks;
+  /// Base-index ids by backing relation, for targeted invalidation.
+  std::map<std::string, std::vector<int>> indexes_by_rel;
+
+  // Eligibility metadata, read off the program text once.
+  std::set<std::string> negated_rels;  // Appears under negation.
+  std::set<std::string> agg_preds;     // Aggregate-headed predicates.
+  std::set<std::string> sum_preds;     // kSum-headed predicates.
+  std::set<std::string> body_preds;    // Appears as a positive body atom.
+  std::map<std::string, std::set<std::string>> consumers;  // Body → heads.
+
+  /// Closes `affected` over body→head consumption edges: anything derived
+  /// (directly or transitively) from an affected relation is affected.
+  void PropagateAffected(std::set<std::string>* affected) const {
+    std::vector<std::string> frontier(affected->begin(), affected->end());
+    while (!frontier.empty()) {
+      const std::string p = std::move(frontier.back());
+      frontier.pop_back();
+      auto it = consumers.find(p);
+      if (it == consumers.end()) continue;
+      for (const std::string& head : it->second) {
+        if (affected->insert(head).second) frontier.push_back(head);
+      }
+    }
+  }
+
+  /// Builds / catches up every base index the SCC's rules probe.
+  Status SyncSccIndexes(const SccPlan& scc, const Catalog& catalog) {
+    Status status = Status::OK();
+    ForEachSccIndexId(scc, [&](int id) {
+      if (!status.ok()) return;
+      status = base_indexes->SyncAppended(id, catalog);
+    });
+    return status;
+  }
+
+  void InvalidateIndexesOver(const std::string& rel) {
+    auto it = indexes_by_rel.find(rel);
+    if (it == indexes_by_rel.end()) return;
+    for (int id : it->second) base_indexes->Invalidate(id);
+  }
+
+  void RecordSccWatermarks(size_t s) {
+    auto& per_worker = replica_watermarks[s];
+    per_worker.resize(replicas[s].size());
+    for (size_t w = 0; w < replicas[s].size(); ++w) {
+      per_worker[w].resize(replicas[s][w].size());
+      for (size_t r = 0; r < replicas[s][w].size(); ++r) {
+        per_worker[w][r] = replicas[s][w][r]->rows().size();
+      }
+    }
+  }
+
+  /// True when some rule of the SCC consumes (positive body atom) one of
+  /// `rels`.
+  bool SccConsumesAny(const SccPlan& scc,
+                      const std::set<std::string>& rels) const {
+    const SccInfo& info = analysis.sccs()[scc.scc_id];
+    for (int r : info.rule_indices) {
+      for (const BodyLiteral& lit : program.rules[r].body) {
+        if (lit.kind != BodyLiteral::Kind::kAtom || lit.negated) continue;
+        if (rels.count(lit.atom.predicate) > 0) return true;
+      }
+    }
+    return false;
+  }
+};
+
+Engine::Engine(Catalog* catalog, EngineOptions options)
+    : catalog_(catalog), options_(options.Resolved()) {}
+
+Engine::~Engine() = default;
+
+Result<EvalStats> Engine::BeginIncremental(const Program& program) {
+  auto state = std::make_unique<IncrementalState>();
+  state->program = program.Clone();
+  DCD_ASSIGN_OR_RETURN(
+      state->analysis, ProgramAnalysis::Analyze(state->program, *catalog_));
+  DCD_ASSIGN_OR_RETURN(std::vector<LogicalRulePlan> logical,
+                       BuildLogicalPlans(state->program, state->analysis));
+  Result<PhysicalPlan> augmented =
+      BuildPhysicalPlan(state->program, state->analysis, logical,
+                        /*build_update_rules=*/true);
+  if (augmented.ok()) {
+    state->plan = std::move(augmented).value();
+    state->have_update_rules = true;
+  } else {
+    DCD_ASSIGN_OR_RETURN(
+        state->plan,
+        BuildPhysicalPlan(state->program, state->analysis, logical));
+  }
+
+  for (const Rule& rule : state->program.rules) {
+    if (rule.head.HasAggregate()) {
+      state->agg_preds.insert(rule.head.predicate);
+      for (const HeadArg& arg : rule.head.args) {
+        if (arg.agg == AggFunc::kSum) {
+          state->sum_preds.insert(rule.head.predicate);
+        }
+      }
+    }
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      if (lit.negated) {
+        state->negated_rels.insert(lit.atom.predicate);
+        continue;
+      }
+      state->body_preds.insert(lit.atom.predicate);
+      state->consumers[lit.atom.predicate].insert(rule.head.predicate);
+    }
+  }
+  for (size_t i = 0; i < state->plan.base_indexes.size(); ++i) {
+    state->indexes_by_rel[state->plan.base_indexes[i].relation].push_back(
+        static_cast<int>(i));
+  }
+
+  inc_ = std::move(state);
+  Result<EvalStats> run = RunRetaining();
+  if (!run.ok()) inc_.reset();
+  return run;
+}
+
+Result<EvalStats> Engine::RunRetaining() {
+  IncrementalState* st = inc_.get();
+  WallTimer timer;
+  EvalStats stats;
+  st->base_indexes = std::make_unique<BaseIndexSet>(st->plan.base_indexes);
+  st->replicas.clear();
+  st->replicas.resize(st->plan.sccs.size());
+  st->replica_watermarks.assign(st->plan.sccs.size(), {});
+  st->counts_valid.assign(st->plan.sccs.size(), 0);
+  const bool flat =
+      options_.merge_index_backend == MergeIndexBackend::kFlat;
+  for (size_t s = 0; s < st->plan.sccs.size(); ++s) {
+    const SccPlan& scc = st->plan.sccs[s];
+    DCD_RETURN_IF_ERROR(st->SyncSccIndexes(scc, *catalog_));
+    // Support counting rides beside kNone flat existence sets in
+    // non-recursive SCCs, where arrivals equal derivations exactly.
+    bool counts = flat && !scc.recursive && st->have_update_rules;
+    for (const std::string& pred : scc.derived_preds) {
+      if (st->plan.agg_specs.at(pred).func != AggFunc::kNone) counts = false;
+    }
+    auto& retained = st->replicas[s];
+    retained.clear();
+    retained.resize(options_.num_workers);
+    IncrementalHooks hooks;
+    hooks.retained = &retained;
+    hooks.enable_counts = counts;
+    SccExecutor executor(st->plan, scc, catalog_, st->base_indexes.get(),
+                         options_, static_cast<uint32_t>(s), &hooks);
+    DCD_RETURN_IF_ERROR(executor.Run(&stats));
+    ++stats.num_sccs;
+    st->counts_valid[s] = counts ? 1 : 0;
+    st->RecordSccWatermarks(s);
+  }
+  for (const std::string& name : catalog_->Names()) {
+    st->rel_watermarks[name] = catalog_->Find(name)->size();
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Result<EvalStats> Engine::ApplyUpdates(const ResolvedUpdateBatch& batch) {
+  if (inc_ == nullptr) {
+    return Status::InvalidArgument(
+        "ApplyUpdates requires an active incremental session "
+        "(call BeginIncremental first)");
+  }
+  IncrementalState* st = inc_.get();
+  WallTimer timer;
+  EvalStats stats;
+  stats.update_batches = 1;
+
+  for (const ResolvedUpdateOp& op : batch.ops) {
+    if (st->analysis.HasPredicate(op.relation) &&
+        !st->analysis.predicate(op.relation).is_edb) {
+      return Status::InvalidArgument(
+          "streaming updates may only target EDB relations; '" +
+          op.relation + "' is derived");
+    }
+  }
+
+  DCD_ASSIGN_OR_RETURN(std::vector<RelationDelta> deltas,
+                       NetOutBatch(batch, *catalog_));
+  for (const RelationDelta& d : deltas) {
+    stats.delta_tuples_in += d.added.size() + d.removed.size();
+  }
+  if (deltas.empty()) {
+    stats.seconds = timer.ElapsedSeconds();
+    return stats;
+  }
+
+  bool removals = false;
+  std::set<std::string> affected;
+  for (const RelationDelta& d : deltas) {
+    affected.insert(d.relation);
+    removals |= !d.removed.empty();
+  }
+  st->PropagateAffected(&affected);
+
+  // Eligibility: batches whose effects the delta machinery cannot replay
+  // exactly fall back to a transparent full recompute (which also resets
+  // the retained state, so later batches may be incremental again).
+  bool fallback = !st->have_update_rules;
+  for (const std::string& p : affected) {
+    if (fallback) break;
+    // A change under negation is non-monotone on the positive side.
+    if (st->negated_rels.count(p) > 0) fallback = true;
+    // min/max/count absorb extra derivations monotonically, but a change
+    // flowing *through* an aggregate (consumed downstream) can retract
+    // previously-derived facts, and a kSum merge replaces a contributor's
+    // value — neither is a monotone re-entry.
+    if (st->agg_preds.count(p) > 0 && st->body_preds.count(p) > 0) {
+      fallback = true;
+    }
+    if (st->sum_preds.count(p) > 0) fallback = true;
+    if (removals && st->agg_preds.count(p) > 0) fallback = true;
+    if (std::find(st->plan.update_ineligible_rels.begin(),
+                  st->plan.update_ineligible_rels.end(),
+                  p) != st->plan.update_ineligible_rels.end()) {
+      fallback = true;
+    }
+  }
+
+  if (fallback) {
+    DCD_RETURN_IF_ERROR(ApplyDeltasToCatalog(deltas, catalog_));
+    Result<EvalStats> rerun = RunRetaining();
+    if (!rerun.ok()) {
+      inc_.reset();  // Retained state is torn; the session cannot continue.
+      return rerun.status();
+    }
+    EvalStats out = std::move(rerun).value();
+    out.update_batches = stats.update_batches;
+    out.delta_tuples_in = stats.delta_tuples_in;
+    out.seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  // --- Delete phase: restore the fixpoint under the removals alone. ---
+  if (removals) {
+    std::map<std::string, Relation> old_copies;
+    std::map<std::string, Relation> removed_rows;
+    std::vector<RelationDelta> removal_deltas;
+    for (const RelationDelta& d : deltas) {
+      if (d.removed.empty()) continue;
+      Relation* rel = catalog_->Find(d.relation);
+      old_copies.emplace(d.relation, *rel);
+      Relation rm(d.relation, rel->schema());
+      for (const auto& row : d.removed) {
+        rm.Append(TupleRef{row.data(), static_cast<uint32_t>(row.size())});
+      }
+      removed_rows.emplace(d.relation, std::move(rm));
+      RelationDelta rd;
+      rd.relation = d.relation;
+      rd.removed = d.removed;
+      removal_deltas.push_back(std::move(rd));
+    }
+    DCD_RETURN_IF_ERROR(ApplyDeltasToCatalog(removal_deltas, catalog_));
+    for (const auto& [name, rm] : removed_rows) {
+      st->InvalidateIndexesOver(name);
+    }
+    Status del = RunDeletePhase(&old_copies, &removed_rows, &stats);
+    if (!del.ok()) {
+      inc_.reset();
+      return del;
+    }
+  }
+
+  // --- Insert phase: append, then re-drive from the new rows. ---
+  std::set<std::string> added_rels;
+  for (const RelationDelta& d : deltas) {
+    if (d.added.empty()) continue;
+    Relation* rel = catalog_->Find(d.relation);
+    // Watermark first: rows appended past it are this batch's deltas.
+    st->rel_watermarks[d.relation] = rel->size();
+    std::vector<RelationDelta> one(1);
+    one[0].relation = d.relation;
+    one[0].added = d.added;
+    DCD_RETURN_IF_ERROR(ApplyDeltasToCatalog(one, catalog_));
+    added_rels.insert(d.relation);
+  }
+  if (!added_rels.empty()) {
+    std::set<std::string> insert_affected = added_rels;
+    st->PropagateAffected(&insert_affected);
+    for (size_t s = 0; s < st->plan.sccs.size(); ++s) {
+      const SccPlan& scc = st->plan.sccs[s];
+      if (!st->SccConsumesAny(scc, insert_affected)) continue;
+      if (st->counts_valid[s] != 0 &&
+          !AtMostOneAffectedAtomPerRule(st->program, st->analysis, scc,
+                                        insert_affected)) {
+        st->counts_valid[s] = 0;
+      }
+      Status sync = st->SyncSccIndexes(scc, *catalog_);
+      if (!sync.ok()) {
+        inc_.reset();
+        return sync;
+      }
+      IncrementalHooks hooks;
+      hooks.retained = &st->replicas[s];
+      hooks.adopt = true;
+      hooks.update_mode = true;
+      hooks.watermarks = &st->rel_watermarks;
+      SccExecutor executor(st->plan, scc, catalog_, st->base_indexes.get(),
+                           options_, static_cast<uint32_t>(s), &hooks);
+      Status run = executor.Run(&stats);
+      if (!run.ok()) {
+        inc_.reset();
+        return run;
+      }
+      ++stats.num_sccs;
+      // Materialize: kNone predicates append the retained tables' rows
+      // past the replica watermarks in place; aggregate predicates (always
+      // leaves here — an affected aggregate consumed downstream forces
+      // fallback) rewrite fully, since merges update values in place.
+      for (const std::string& pred : scc.derived_preds) {
+        const int canonical = scc.ReplicasOf(pred).front();
+        Relation* rel = catalog_->Find(pred);
+        if (st->plan.agg_specs.at(pred).func == AggFunc::kNone) {
+          st->rel_watermarks[pred] = rel->size();
+          for (uint32_t w = 0; w < options_.num_workers; ++w) {
+            const RecursiveTable& table = *st->replicas[s][w][canonical];
+            for (uint64_t r = st->replica_watermarks[s][w][canonical];
+                 r < table.rows().size(); ++r) {
+              rel->Append(table.rows().Row(r));
+            }
+          }
+        } else {
+          rel->Clear();
+          for (uint32_t w = 0; w < options_.num_workers; ++w) {
+            rel->AppendAll(st->replicas[s][w][canonical]->rows());
+          }
+          st->rel_watermarks[pred] = rel->size();
+        }
+      }
+      st->RecordSccWatermarks(s);
+    }
+  }
+
+  for (const std::string& name : catalog_->Names()) {
+    st->rel_watermarks[name] = catalog_->Find(name)->size();
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+Status Engine::RunDeletePhase(std::map<std::string, Relation>* old_copies,
+                              std::map<std::string, Relation>* removed_rows,
+                              EvalStats* stats) {
+  IncrementalState* st = inc_.get();
+  for (size_t s = 0; s < st->plan.sccs.size(); ++s) {
+    const SccPlan& scc = st->plan.sccs[s];
+    std::set<std::string> removed_names;
+    for (const auto& [name, rel] : *removed_rows) {
+      if (!rel.empty()) removed_names.insert(name);
+    }
+    if (removed_names.empty()) break;
+    if (!st->SccConsumesAny(scc, removed_names)) continue;
+    const bool counting =
+        st->counts_valid[s] != 0 && !scc.recursive &&
+        AtMostOneAffectedAtomPerRule(st->program, st->analysis, scc,
+                                     removed_names);
+    if (counting) {
+      DCD_RETURN_IF_ERROR(CountingDelete(s, old_copies, removed_rows, stats));
+    } else {
+      // DRed rebuilds the tables without counts; don't trust them again
+      // until the next full run.
+      st->counts_valid[s] = 0;
+      DCD_RETURN_IF_ERROR(DredDelete(s, old_copies, removed_rows, stats));
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CountingDelete(size_t scc_idx,
+                              std::map<std::string, Relation>* old_copies,
+                              std::map<std::string, Relation>* removed_rows,
+                              EvalStats* stats) {
+  (void)stats;  // The counting path re-derives nothing.
+  IncrementalState* st = inc_.get();
+  const SccPlan& scc = st->plan.sccs[scc_idx];
+  const uint32_t n = options_.num_workers;
+  auto& tables = st->replicas[scc_idx];
+
+  // Snapshot this SCC's predicates before correcting them: a downstream
+  // SCC's DRed closure may need the pre-batch values.
+  for (const std::string& pred : scc.derived_preds) {
+    if (old_copies->count(pred) == 0) {
+      old_copies->emplace(pred, *catalog_->Find(pred));
+    }
+  }
+
+  // The engine thread takes ownership of the retained partitions.
+  for (uint32_t w = 0; w < n; ++w) {
+    for (auto& table : tables[w]) table->RebindWriter();
+  }
+
+  // Lost derivations: drive every removed row (one entry per stored copy)
+  // through each update rule of this SCC whose relation lost rows,
+  // decrementing the derived row's support. The structural gate admitted at
+  // most one removal-affected atom per rule — the driving one — so every
+  // probe touches a relation the batch left unchanged, and the current
+  // catalog state equals the pre-batch state for all of them.
+  uint32_t max_regs = 1;
+  for (const PhysicalRule& rule : scc.update_rules) {
+    max_regs = std::max(max_regs, rule.num_regs);
+  }
+  std::vector<uint64_t> regs(max_regs, 0);
+  PipelineContext pctx;
+  pctx.catalog = catalog_;
+  pctx.base_indexes = st->base_indexes.get();
+  pctx.replicas = &tables[0];  // No recursive probes in a counting SCC.
+  pctx.regs = regs.data();
+
+  struct DecCtx {
+    const PhysicalRule* rule = nullptr;
+    std::vector<std::vector<std::unique_ptr<RecursiveTable>>>* tables =
+        nullptr;
+    std::vector<std::vector<std::vector<uint64_t>>>* dead = nullptr;
+    uint32_t n = 0;
+    int canonical = 0;
+    uint32_t partition_col = 0;
+  };
+  const auto dec_thunk = [](void* c, const uint64_t* regs_in) {
+    auto* d = static_cast<DecCtx*>(c);
+    uint64_t wire[kMaxWireWords];
+    BuildWireTuple(d->rule->head, regs_in, wire);
+    const uint32_t w = PartitionOf(wire[d->partition_col], d->n);
+    RecursiveTable* table = (*d->tables)[w][d->canonical].get();
+    const uint64_t row_id =
+        table->FindRowId(TupleRef{wire, table->stored_arity()});
+    if (row_id == UINT64_MAX || table->SupportCount(row_id) == 0) {
+      // Every lost derivation must resolve to a live, supported row;
+      // anything else means the counts drifted.
+      DCD_DCHECK(false);
+      return;
+    }
+    if (table->DecrementSupport(row_id) == 0) {
+      (*d->dead)[w][d->canonical].push_back(row_id);
+    }
+  };
+
+  std::vector<std::vector<std::vector<uint64_t>>> dead(
+      n, std::vector<std::vector<uint64_t>>(scc.replicas.size()));
+  for (const PhysicalRule& rule : scc.update_rules) {
+    auto rm_it = removed_rows->find(rule.driving_relation);
+    if (rm_it == removed_rows->end() || rm_it->second.empty()) continue;
+    PreparePipeline(rule, &pctx);
+    DecCtx dctx;
+    dctx.rule = &rule;
+    dctx.tables = &tables;
+    dctx.dead = &dead;
+    dctx.n = n;
+    dctx.canonical = scc.ReplicasOf(rule.head.predicate).front();
+    dctx.partition_col = scc.replicas[dctx.canonical].partition_col;
+    const EmitSink emit{dec_thunk, &dctx};
+    const Relation& rm = rm_it->second;
+    for (uint64_t r = 0; r < rm.size(); ++r) {
+      RunPipelineForTuple(rule, pctx, rm.Row(r), emit);
+    }
+  }
+
+  // Collect the dying rows (their tuples must be read before compaction),
+  // compact every partition, and rewrite the catalog relation in place.
+  for (const std::string& pred : scc.derived_preds) {
+    const int canonical = scc.ReplicasOf(pred).front();
+    Relation dead_rel(pred, st->plan.schemas.at(pred));
+    bool any = false;
+    for (uint32_t w = 0; w < n; ++w) {
+      auto& ids = dead[w][canonical];
+      if (ids.empty()) continue;
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      RecursiveTable* table = tables[w][canonical].get();
+      for (uint64_t id : ids) dead_rel.Append(table->rows().Row(id));
+      table->CompactRemoveRows(ids);
+      any = true;
+    }
+    if (!any) continue;
+    Relation* rel = catalog_->Find(pred);
+    rel->Clear();
+    for (uint32_t w = 0; w < n; ++w) {
+      rel->AppendAll(tables[w][canonical]->rows());
+    }
+    st->InvalidateIndexesOver(pred);
+    st->rel_watermarks[pred] = rel->size();
+    removed_rows->emplace(pred, std::move(dead_rel));
+  }
+  st->RecordSccWatermarks(scc_idx);
+  return Status::OK();
+}
+
+Status Engine::DredDelete(size_t scc_idx,
+                          std::map<std::string, Relation>* old_copies,
+                          std::map<std::string, Relation>* removed_rows,
+                          EvalStats* stats) {
+  IncrementalState* st = inc_.get();
+  const SccPlan& scc = st->plan.sccs[scc_idx];
+  const uint32_t n = options_.num_workers;
+  const std::string old_prefix = DredOldName("");
+  const std::string rm_prefix = DredRmName("");
+  const std::string seed_prefix = DredSeedName("");
+
+  for (const std::string& pred : scc.derived_preds) {
+    if (old_copies->count(pred) == 0) {
+      old_copies->emplace(pred, *catalog_->Find(pred));
+    }
+  }
+
+  std::set<std::string> removed_names;
+  for (const auto& [name, rel] : *removed_rows) {
+    if (!rel.empty()) removed_names.insert(name);
+  }
+
+  // Step 1: over-deletion closure, evaluated against the pre-batch
+  // snapshots — every tuple with a derivation through a removed row.
+  DCD_ASSIGN_OR_RETURN(
+      Program closure,
+      BuildDeleteClosureProgram(st->program, st->analysis, scc.scc_id,
+                                removed_names));
+  Catalog closure_catalog;
+  for (const Rule& rule : closure.rules) {
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      const std::string& name = lit.atom.predicate;
+      if (closure_catalog.Contains(name)) continue;
+      const Relation* src = nullptr;
+      if (StartsWith(name, old_prefix)) {
+        const std::string base = name.substr(old_prefix.size());
+        auto it = old_copies->find(base);
+        src = it != old_copies->end() ? &it->second : catalog_->Find(base);
+      } else if (StartsWith(name, rm_prefix)) {
+        auto it = removed_rows->find(name.substr(rm_prefix.size()));
+        src = it != removed_rows->end() ? &it->second : nullptr;
+      } else {
+        continue;  // __dred_d_* — derived by the closure itself.
+      }
+      if (src == nullptr) {
+        return Status::Internal("DRed closure input '" + name + "' missing");
+      }
+      Relation copy(name, src->schema());
+      copy.AppendAll(*src);
+      closure_catalog.Put(std::move(copy));
+    }
+  }
+  {
+    Engine closure_engine(&closure_catalog, options_);
+    DCD_ASSIGN_OR_RETURN(EvalStats closure_stats,
+                         closure_engine.Run(closure));
+    (void)closure_stats;
+  }
+
+  bool any_deleted = false;
+  std::map<std::string, std::set<std::vector<uint64_t>>> deleted;
+  for (const std::string& pred : scc.derived_preds) {
+    auto& dset = deleted[pred];
+    const Relation* d = closure_catalog.Find(DredDName(pred));
+    if (d != nullptr) {
+      for (uint64_t r = 0; r < d->size(); ++r) {
+        TupleRef row = d->Row(r);
+        dset.insert(std::vector<uint64_t>(row.data, row.data + row.arity));
+      }
+    }
+    any_deleted |= !dset.empty();
+  }
+  if (!any_deleted) return Status::OK();
+
+  // Step 2: re-derivation from the survivors. A tuple outside the closure
+  // has a derivation avoiding every removed row, so the survivors are a
+  // subset of the corrected fixpoint; re-running the SCC's rules from them
+  // (against the corrected external relations) adds back exactly the
+  // over-deleted tuples that remain derivable.
+  DCD_ASSIGN_OR_RETURN(
+      Program rederive,
+      BuildRederiveProgram(st->program, st->analysis, scc.scc_id));
+  Catalog rederive_catalog;
+  const std::set<std::string> scc_pred_set(scc.derived_preds.begin(),
+                                           scc.derived_preds.end());
+  uint64_t survivor_count = 0;
+  std::vector<uint64_t> key;
+  for (const std::string& pred : scc.derived_preds) {
+    const Relation& old_rel = old_copies->at(pred);
+    const auto& dset = deleted[pred];
+    Relation seeds(DredSeedName(pred), old_rel.schema());
+    for (uint64_t r = 0; r < old_rel.size(); ++r) {
+      TupleRef row = old_rel.Row(r);
+      key.assign(row.data, row.data + row.arity);
+      if (dset.count(key) == 0) seeds.Append(row);
+    }
+    survivor_count += seeds.size();
+    rederive_catalog.Put(std::move(seeds));
+  }
+  for (const Rule& rule : rederive.rules) {
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      const std::string& name = lit.atom.predicate;
+      if (scc_pred_set.count(name) > 0) continue;
+      if (StartsWith(name, seed_prefix)) continue;
+      if (rederive_catalog.Contains(name)) continue;
+      const Relation* src = catalog_->Find(name);
+      if (src == nullptr) {
+        return Status::Internal("DRed rederive input '" + name + "' missing");
+      }
+      Relation copy(name, src->schema());
+      copy.AppendAll(*src);
+      rederive_catalog.Put(std::move(copy));
+    }
+  }
+  {
+    Engine rederive_engine(&rederive_catalog, options_);
+    DCD_ASSIGN_OR_RETURN(EvalStats red_stats, rederive_engine.Run(rederive));
+    (void)red_stats;
+  }
+
+  // Step 3: install the corrected contents — catalog relation in place,
+  // retained partitions rebuilt fresh (support counts stay off; the caller
+  // already invalidated them for this SCC).
+  uint64_t corrected_total = 0;
+  for (const std::string& pred : scc.derived_preds) {
+    Relation* corrected = rederive_catalog.Find(pred);
+    if (corrected == nullptr) {
+      return Status::Internal("DRed rederive result '" + pred + "' missing");
+    }
+    corrected_total += corrected->size();
+
+    std::set<std::vector<uint64_t>> corrected_set;
+    for (uint64_t r = 0; r < corrected->size(); ++r) {
+      TupleRef row = corrected->Row(r);
+      corrected_set.insert(
+          std::vector<uint64_t>(row.data, row.data + row.arity));
+    }
+    const Relation& old_rel = old_copies->at(pred);
+    Relation gone(pred, old_rel.schema());
+    for (uint64_t r = 0; r < old_rel.size(); ++r) {
+      TupleRef row = old_rel.Row(r);
+      key.assign(row.data, row.data + row.arity);
+      if (corrected_set.count(key) == 0) gone.Append(row);
+    }
+
+    for (int replica_id : scc.ReplicasOf(pred)) {
+      const ReplicaSpec& spec = scc.replicas[replica_id];
+      std::vector<std::unique_ptr<RecursiveTable>> fresh(n);
+      for (uint32_t w = 0; w < n; ++w) {
+        fresh[w] = std::make_unique<RecursiveTable>(
+            pred, st->plan.schemas.at(pred), st->plan.agg_specs.at(pred),
+            spec.partition_col, spec.needs_join_index, options_);
+      }
+      for (uint64_t r = 0; r < corrected->size(); ++r) {
+        TupleRef row = corrected->Row(r);
+        const uint32_t w =
+            spec.partition_constant
+                ? 0u
+                : PartitionOf(row.data[spec.partition_col], n);
+        fresh[w]->MergeWire(row.data);
+      }
+      for (uint32_t w = 0; w < n; ++w) {
+        fresh[w]->ClearDelta();
+        st->replicas[scc_idx][w][replica_id] = std::move(fresh[w]);
+      }
+    }
+
+    Relation* rel = catalog_->Find(pred);
+    rel->Clear();
+    rel->AppendAll(*corrected);
+    st->InvalidateIndexesOver(pred);
+    st->rel_watermarks[pred] = rel->size();
+
+    if (!gone.empty()) removed_rows->emplace(pred, std::move(gone));
+  }
+  stats->rederived_tuples += corrected_total >= survivor_count
+                                 ? corrected_total - survivor_count
+                                 : 0;
+  st->RecordSccWatermarks(scc_idx);
+  return Status::OK();
 }
 
 }  // namespace dcdatalog

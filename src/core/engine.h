@@ -2,6 +2,8 @@
 #define DCDATALOG_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "datalog/ast.h"
 #include "planner/physical_plan.h"
 #include "storage/catalog.h"
+#include "storage/updates.h"
 
 namespace dcdatalog {
 
@@ -60,6 +63,15 @@ struct EvalStats {
   /// Events lost to trace-ring overwrite (0 unless tracing is on and a
   /// worker outran its ring).
   uint64_t trace_dropped = 0;
+  /// Streaming-update batches this run applied (1 per ApplyUpdates call,
+  /// 0 for from-scratch runs).
+  uint64_t update_batches = 0;
+  /// Net EDB tuples in the applied batches after set-semantics netting
+  /// (inserts of absent tuples + removed stored copies).
+  uint64_t delta_tuples_in = 0;
+  /// Tuples the DRed delete path re-derived: over-deleted during closure,
+  /// then recovered by re-running the SCC's rules from the survivors.
+  uint64_t rederived_tuples = 0;
 
   /// Populated only when EngineOptions::enable_trace is set: the merged
   /// snapshot of every worker's trace ring, in per-worker append order.
@@ -86,8 +98,11 @@ struct EvalStats {
 /// back into the catalog under their predicate names.
 class Engine {
  public:
-  Engine(Catalog* catalog, EngineOptions options)
-      : catalog_(catalog), options_(options.Resolved()) {}
+  Engine(Catalog* catalog, EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Parses nothing — takes an analyzed program, plans and runs it.
   Result<EvalStats> Run(const Program& program);
@@ -95,11 +110,50 @@ class Engine {
   /// Runs an already-built physical plan.
   Result<EvalStats> RunPlan(const PhysicalPlan& plan);
 
+  /// Starts an incremental session: plans `program` with per-rule update
+  /// versions (delta rewrites driving newly-arrived rows of one body atom),
+  /// evaluates it to fixpoint, and retains the per-worker merge structures,
+  /// base indexes, and relation watermarks so later ApplyUpdates calls can
+  /// re-drive from deltas instead of recomputing. Returns the initial
+  /// run's stats.
+  Result<EvalStats> BeginIncremental(const Program& program);
+
+  /// Applies one batch of EDB inserts/deletes and incrementally restores
+  /// the fixpoint. Inserts re-enter the retained semi-naive loop through
+  /// the update rules; deletes run support-count maintenance
+  /// (non-recursive SCCs) or DRed delete-and-rederive (recursive SCCs).
+  /// Batches the planner or eligibility analysis cannot handle
+  /// incrementally fall back to a transparent full recompute — either way
+  /// the maintained fixpoint is identical to a from-scratch Run over the
+  /// updated EDB. Requires BeginIncremental first.
+  Result<EvalStats> ApplyUpdates(const ResolvedUpdateBatch& batch);
+
+  bool incremental_active() const { return inc_ != nullptr; }
+
   const EngineOptions& options() const { return options_; }
 
  private:
+  struct IncrementalState;
+
+  /// Full evaluation of the incremental session's plan, retaining worker
+  /// state into inc_. Used by BeginIncremental and by the fallback path.
+  Result<EvalStats> RunRetaining();
+
+  Status RunDeletePhase(std::map<std::string, Relation>* old_copies,
+                        std::map<std::string, Relation>* removed_rows,
+                        EvalStats* stats);
+  Status CountingDelete(size_t scc_idx,
+                        std::map<std::string, Relation>* old_copies,
+                        std::map<std::string, Relation>* removed_rows,
+                        EvalStats* stats);
+  Status DredDelete(size_t scc_idx,
+                    std::map<std::string, Relation>* old_copies,
+                    std::map<std::string, Relation>* removed_rows,
+                    EvalStats* stats);
+
   Catalog* catalog_;
   EngineOptions options_;
+  std::unique_ptr<IncrementalState> inc_;
 };
 
 }  // namespace dcdatalog

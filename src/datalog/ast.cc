@@ -129,6 +129,36 @@ std::string Constraint::ToString() const {
   return lhs->ToString() + " " + CmpOpName(op) + " " + rhs->ToString();
 }
 
+BodyLiteral BodyLiteral::Clone() const {
+  BodyLiteral copy;
+  copy.kind = kind;
+  copy.negated = negated;
+  if (kind == Kind::kAtom) {
+    copy.atom = atom;
+  } else {
+    copy.constraint = constraint.Clone();
+  }
+  return copy;
+}
+
+Rule Rule::Clone() const {
+  Rule copy;
+  copy.head = head;
+  copy.line = line;
+  copy.body.reserve(body.size());
+  for (const BodyLiteral& lit : body) copy.body.push_back(lit.Clone());
+  return copy;
+}
+
+Program Program::Clone() const {
+  Program copy;
+  copy.rules.reserve(rules.size());
+  for (const Rule& rule : rules) copy.rules.push_back(rule.Clone());
+  copy.inputs = inputs;
+  copy.outputs = outputs;
+  return copy;
+}
+
 std::string Atom::ToString() const {
   std::string out = predicate + "(";
   for (size_t i = 0; i < args.size(); ++i) {

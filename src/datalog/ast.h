@@ -106,6 +106,10 @@ struct BodyLiteral {
   bool negated = false;  // kAtom only.
   Constraint constraint;
 
+  /// Deep copy (BodyLiteral is move-only because Constraint owns an
+  /// expression tree).
+  BodyLiteral Clone() const;
+
   std::string ToString() const;
 };
 
@@ -148,6 +152,8 @@ struct Rule {
   std::vector<BodyLiteral> body;
   int line = 0;  // Source line for diagnostics.
 
+  Rule Clone() const;
+
   /// Number of body atoms (excludes constraints).
   size_t NumAtoms() const;
 
@@ -159,6 +165,8 @@ struct Program {
   std::vector<Rule> rules;
   std::vector<std::string> inputs;   // `.input p` — must exist in catalog.
   std::vector<std::string> outputs;  // `.output p` — results to surface.
+
+  Program Clone() const;
 
   std::string ToString() const;
 };

@@ -318,6 +318,16 @@ std::string LogicalRulePlan::ToString() const {
   return os.str();
 }
 
+Result<LogicalRulePlan> BuildUpdateVersion(const Program& program,
+                                           const ProgramAnalysis& analysis,
+                                           int rule_index, int update_atom) {
+  DCD_ASSIGN_OR_RETURN(
+      LogicalRulePlan plan,
+      BuildOneVersion(program, analysis, rule_index, update_atom));
+  plan.is_update = true;
+  return plan;
+}
+
 Result<std::vector<LogicalRulePlan>> BuildLogicalPlans(
     const Program& program, const ProgramAnalysis& analysis) {
   std::vector<LogicalRulePlan> plans;

@@ -50,6 +50,10 @@ struct LogicalOp {
 struct LogicalRulePlan {
   int rule_index = -1;
   int delta_atom = -1;  // Body index of the δ-scanned atom; -1 = base rule.
+  /// Incremental-maintenance update version: delta_atom names a positive
+  /// *non-recursive* body atom, and the driving scan ranges over that
+  /// relation's newly-arrived rows instead of a recursive table's δ.
+  bool is_update = false;
   std::unique_ptr<LogicalOp> root;
 
   std::string ToString() const;
@@ -63,6 +67,18 @@ struct LogicalRulePlan {
 ///     their variables are bound.
 Result<std::vector<LogicalRulePlan>> BuildLogicalPlans(
     const Program& program, const ProgramAnalysis& analysis);
+
+/// Builds the incremental-maintenance "update version" of one rule: the
+/// positive non-recursive body atom `update_atom` becomes the driving scan
+/// (tagged is_delta, so downstream planning treats it exactly like a δ
+/// scan), and every other literal is probed at its full current value.
+/// Driving such a version over a relation's newly-arrived rows re-derives
+/// precisely the derivations that consume at least one new tuple — the
+/// monotone half of delta maintenance. One version exists per
+/// (rule, positive non-recursive atom).
+Result<LogicalRulePlan> BuildUpdateVersion(const Program& program,
+                                           const ProgramAnalysis& analysis,
+                                           int rule_index, int update_atom);
 
 }  // namespace dcdatalog
 

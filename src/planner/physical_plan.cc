@@ -85,6 +85,8 @@ class RuleCompiler {
     out_ = PhysicalRule();
     out_.rule_index = logical.rule_index;
     out_.delta_atom = logical.delta_atom;
+    out_.is_update = logical.is_update;
+    is_update_ = logical.is_update;
     var_reg_.clear();
     reg_types_.clear();
     first_scan_ = true;
@@ -205,6 +207,7 @@ class RuleCompiler {
   Status AnalyzePartitioning(const LogicalRulePlan& logical,
                              const std::vector<const LogicalOp*>& scans) {
     driving_partition_col_ = 0;
+    driving_needs_locality_ = false;
     if (logical.delta_atom < 0) return Status::OK();
 
     const LogicalOp* driving = scans.empty() ? nullptr : scans.front();
@@ -245,6 +248,7 @@ class RuleCompiler {
     if (!locality_var.empty()) {
       driving_partition_col_ =
           static_cast<uint32_t>(ColOfVar(d_atom, locality_var));
+      driving_needs_locality_ = true;
     } else {
       // Free choice: prefer the first driving column whose variable also
       // appears in another atom (the join key), mirroring the paper's
@@ -377,9 +381,20 @@ class RuleCompiler {
       first_scan_ = false;
       out_.driving_relation = atom.predicate;
       if (scan->is_delta) {
-        out_.driving_replica =
-            GetReplica(atom.predicate, driving_partition_col_,
-                       /*needs_index=*/false);
+        if (is_update_) {
+          // Update versions drive a materialized relation's new rows, not a
+          // replica δ. When a later step probes a recursive replica, the
+          // driving rows must be processed by the worker owning the probe
+          // key's partition; otherwise any worker may take any row.
+          out_.update_partition_col =
+              driving_needs_locality_
+                  ? static_cast<int>(driving_partition_col_)
+                  : -1;
+        } else {
+          out_.driving_replica =
+              GetReplica(atom.predicate, driving_partition_col_,
+                         /*needs_index=*/false);
+        }
       }
       BindAtomColumns(atom, /*skip_col=*/-1, &out_.scan_outputs,
                       &out_.scan_eq_checks, &out_.scan_const_checks);
@@ -666,6 +681,8 @@ class RuleCompiler {
   std::vector<ColumnType> reg_types_;
   std::set<std::string> hash_probe_vars_;
   uint32_t driving_partition_col_ = 0;
+  bool driving_needs_locality_ = false;
+  bool is_update_ = false;
   bool first_scan_ = true;
 };
 
@@ -713,6 +730,7 @@ std::string SccPlan::ToString() const {
   os << "\n";
   for (const auto& r : base_rules) os << "  base  " << r.ToString() << "\n";
   for (const auto& r : delta_rules) os << "  delta " << r.ToString() << "\n";
+  for (const auto& r : update_rules) os << "  update " << r.ToString() << "\n";
   return os.str();
 }
 
@@ -730,7 +748,8 @@ std::string PhysicalPlan::ToString() const {
 
 Result<PhysicalPlan> BuildPhysicalPlan(
     const Program& program, const ProgramAnalysis& analysis,
-    const std::vector<LogicalRulePlan>& logical_plans) {
+    const std::vector<LogicalRulePlan>& logical_plans,
+    bool build_update_rules) {
   PhysicalPlan plan;
 
   // Aggregate specs for every derived predicate.
@@ -777,6 +796,48 @@ Result<PhysicalPlan> BuildPhysicalPlan(
         scc.base_rules.push_back(std::move(rule));
       } else {
         scc.delta_rules.push_back(std::move(rule));
+      }
+    }
+
+    // Update versions for incremental maintenance: one per (rule, positive
+    // non-recursive body atom). A version that fails to compile (e.g. a
+    // recursive probe that cannot stay partition-local when driven from
+    // this atom) marks the atom's relation update-ineligible instead of
+    // failing the plan — batches touching it fall back to full recompute.
+    if (build_update_rules) {
+      for (size_t r = 0; r < program.rules.size(); ++r) {
+        const RuleInfo& rinfo = analysis.rule_infos()[r];
+        if (rinfo.head_scc != static_cast<int>(s)) continue;
+        const Rule& rule = program.rules[r];
+        for (size_t b = 0; b < rule.body.size(); ++b) {
+          const BodyLiteral& lit = rule.body[b];
+          if (lit.kind != BodyLiteral::Kind::kAtom || lit.negated) continue;
+          if (std::find(rinfo.recursive_atoms.begin(),
+                        rinfo.recursive_atoms.end(),
+                        static_cast<int>(b)) != rinfo.recursive_atoms.end()) {
+            continue;
+          }
+          const size_t replicas_before = scc.replicas.size();
+          auto compile_one = [&]() -> Result<PhysicalRule> {
+            DCD_ASSIGN_OR_RETURN(
+                LogicalRulePlan logical,
+                BuildUpdateVersion(program, analysis, static_cast<int>(r),
+                                   static_cast<int>(b)));
+            return compiler.Compile(logical);
+          };
+          Result<PhysicalRule> compiled = compile_one();
+          if (!compiled.ok()) {
+            scc.replicas.resize(replicas_before);
+            const std::string& rel = lit.atom.predicate;
+            if (std::find(plan.update_ineligible_rels.begin(),
+                          plan.update_ineligible_rels.end(),
+                          rel) == plan.update_ineligible_rels.end()) {
+              plan.update_ineligible_rels.push_back(rel);
+            }
+            continue;
+          }
+          scc.update_rules.push_back(std::move(compiled).value());
+        }
       }
     }
 

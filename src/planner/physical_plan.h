@@ -136,6 +136,18 @@ struct PhysicalRule {
   int rule_index = -1;
   int delta_atom = -1;  // -1: base rule (driving scan over a relation).
 
+  /// Incremental-maintenance update version: the driving scan ranges over
+  /// the newly-arrived rows of a base (or upstream IDB) relation instead of
+  /// a replica's δ. delta_atom then names the driven body atom.
+  bool is_update = false;
+
+  /// Update versions only: the driving-row column whose hash names the one
+  /// worker allowed to process the row (it probes recursive replicas, so
+  /// the probe must stay partition-local — same invariant as δ routing), or
+  /// -1 when no recursive probe constrains locality and workers may split
+  /// the new rows by range.
+  int update_partition_col = -1;
+
   /// Driving source: a recursive replica's delta (delta versions), a base
   /// relation scanned in chunks (base rules), or the implicit unit row.
   std::string driving_relation;
@@ -176,6 +188,11 @@ struct SccPlan {
   std::vector<PhysicalRule> base_rules;
   std::vector<PhysicalRule> delta_rules;
 
+  /// Update versions (augmented plans only — see BuildPhysicalPlan's
+  /// build_update_rules): one per (rule, positive non-recursive body atom),
+  /// driven over that relation's newly-arrived rows by ApplyUpdates.
+  std::vector<PhysicalRule> update_rules;
+
   /// Replica ids for a predicate, in registration order (the first one is
   /// the canonical replica whose union forms the final relation).
   std::vector<int> ReplicasOf(const std::string& pred) const;
@@ -193,6 +210,12 @@ struct PhysicalPlan {
   std::vector<BaseIndexReq> base_indexes;
   std::vector<std::string> outputs;  // Program's .output list (may be empty).
 
+  /// Relations for which some rule has no valid update version (e.g. a
+  /// recursive probe would leave its partition). An update batch touching
+  /// any of these — directly or through the affected-predicate closure —
+  /// falls back to full recomputation.
+  std::vector<std::string> update_ineligible_rels;
+
   std::string ToString() const;
 };
 
@@ -202,9 +225,14 @@ struct PhysicalPlan {
 /// same key variable, index join when an index is available, nested loop
 /// otherwise), performs register allocation, and validates that recursive
 /// probes stay partition-local.
+/// With build_update_rules, each SCC additionally carries the compiled
+/// update versions of its rules (incremental-maintenance driving); rules
+/// whose update version cannot be compiled are recorded in
+/// PhysicalPlan::update_ineligible_rels rather than failing the plan.
 Result<PhysicalPlan> BuildPhysicalPlan(
     const Program& program, const ProgramAnalysis& analysis,
-    const std::vector<LogicalRulePlan>& logical_plans);
+    const std::vector<LogicalRulePlan>& logical_plans,
+    bool build_update_rules = false);
 
 }  // namespace dcdatalog
 

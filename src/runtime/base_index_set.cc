@@ -27,7 +27,37 @@ Status BaseIndexSet::EnsureBuilt(int id, const Catalog& catalog) {
     }
   }
   e.built = true;
+  e.rows_indexed = e.relation->size();
   return Status::OK();
+}
+
+Status BaseIndexSet::SyncAppended(int id, const Catalog& catalog) {
+  Entry& e = entries_[id];
+  if (!e.built) return EnsureBuilt(id, catalog);
+  const uint64_t n = e.relation->size();
+  if (n == e.rows_indexed) return Status::OK();
+  if (n < e.rows_indexed) {
+    return Status::Internal("relation '" + e.req.relation +
+                            "' shrank under a built index; Invalidate first");
+  }
+  if (e.req.is_hash) {
+    e.hash.Append(*e.relation, e.req.col, e.rows_indexed);
+  } else {
+    for (uint64_t r = e.rows_indexed; r < n; ++r) {
+      e.btree->Insert(e.relation->Row(r)[e.req.col], r);
+    }
+  }
+  e.rows_indexed = n;
+  return Status::OK();
+}
+
+void BaseIndexSet::Invalidate(int id) {
+  Entry& e = entries_[id];
+  e.built = false;
+  e.rows_indexed = 0;
+  e.relation = nullptr;
+  e.hash = HashIndex();
+  e.btree.reset();
 }
 
 }  // namespace dcdatalog

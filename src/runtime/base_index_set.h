@@ -27,6 +27,16 @@ class BaseIndexSet {
   /// Builds index `id` from the catalog if it is not built yet.
   Status EnsureBuilt(int id, const Catalog& catalog);
 
+  /// Incremental-maintenance sync: EnsureBuilt, then index any rows the
+  /// backing relation appended since the last build/sync (EDB insert
+  /// batches, or upstream IDB relations extended in place). Requires the
+  /// relation to have only grown; shrinking relations must Invalidate first.
+  Status SyncAppended(int id, const Catalog& catalog);
+
+  /// Drops index `id` so the next EnsureBuilt rebuilds it from scratch —
+  /// the deletion path, where the backing relation was rewritten in place.
+  void Invalidate(int id);
+
   bool IsBuilt(int id) const { return entries_[id].built; }
 
   /// fn(TupleRef row) for each row of the indexed relation whose key column
@@ -67,6 +77,7 @@ class BaseIndexSet {
     BaseIndexReq req;
     const Relation* relation = nullptr;
     bool built = false;
+    uint64_t rows_indexed = 0;  // Watermark for SyncAppended.
     HashIndex hash;
     std::unique_ptr<BPlusTree<uint64_t, uint64_t>> btree;
   };

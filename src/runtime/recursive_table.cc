@@ -124,6 +124,11 @@ bool RecursiveTable::MergeNone(const uint64_t* wire, uint64_t hash) {
   const TupleRef tuple{wire, spec_.stored_arity};
   if (CacheCheckDuplicate(tuple, hash)) {
     ++cache_hits_;
+    // Support counting must see every arrival, including ones the cache
+    // short-circuits — the cache slot already names the row.
+    if (maintain_counts_) {
+      exist_set_.IncrementCount(cache_slots_[hash & cache_mask_] - 1);
+    }
     return false;
   }
   if (use_flat_) {
@@ -131,11 +136,13 @@ bool RecursiveTable::MergeNone(const uint64_t* wire, uint64_t hash) {
     // full-tuple compare only on hash-equal slots.
     const uint64_t found = exist_set_.Find(hash, tuple);
     if (found != FlatTupleSet::kNotFound) {
+      if (maintain_counts_) exist_set_.IncrementCount(found);
       CacheFill(hash, found);
       return false;
     }
     const uint64_t row_id = AppendRow(wire);
     exist_set_.Insert(hash, row_id);
+    if (maintain_counts_) exist_set_.IncrementCount(row_id);
     CacheFill(hash, row_id);
     PushDelta(row_id);
     return true;
@@ -309,6 +316,96 @@ bool RecursiveTable::MergeWire(const uint64_t* wire) {
       return MergeSum(wire);
   }
   return false;
+}
+
+void RecursiveTable::EnableSupportCounts() {
+  DCD_CHECK(spec_.func == AggFunc::kNone && use_flat_)
+      << "support counts require a kNone flat-backend table";
+  maintain_counts_ = true;
+  exist_set_.EnableCounts();
+}
+
+uint64_t RecursiveTable::FindRowId(TupleRef tuple) const {
+  const uint64_t hash = tuple.Hash();
+  if (use_flat_) return exist_set_.Find(hash, tuple);
+  for (auto it = group_index_.LowerBound(U128{hash, 0});
+       !it.AtEnd() && it.key().hi == hash; ++it) {
+    if (rows_.Row(it.value()) == tuple) return it.value();
+  }
+  return UINT64_MAX;
+}
+
+void RecursiveTable::CompactRemoveRows(
+    const std::vector<uint64_t>& dead_row_ids) {
+  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_CHECK(spec_.func == AggFunc::kNone)
+      << "compaction is only defined for kNone tables";
+  if (dead_row_ids.empty()) return;
+  const uint64_t n = rows_.size();
+
+  // Rebuild row storage keeping survivor order; carry counts by new row id.
+  Relation survivors(rows_.name(), rows_.schema());
+  survivors.Reserve(n - dead_row_ids.size());
+  std::vector<uint64_t> survivor_counts;
+  if (maintain_counts_) survivor_counts.reserve(n - dead_row_ids.size());
+  size_t d = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    if (d < dead_row_ids.size() && dead_row_ids[d] == r) {
+      ++d;
+      continue;
+    }
+    survivors.Append(rows_.Row(r));
+    if (maintain_counts_) survivor_counts.push_back(exist_set_.CountOf(r));
+  }
+  rows_ = std::move(survivors);  // exist_set_ backs onto &rows_: unchanged.
+
+  // Rebuild whichever existence index is active over the new row ids.
+  exist_set_ = FlatTupleSet(&rows_);
+  if (maintain_counts_) exist_set_.EnableCounts();
+  const uint64_t survivors_n = rows_.size();
+  if (use_flat_) {
+    exist_set_.Reserve(survivors_n);
+    for (uint64_t r = 0; r < survivors_n; ++r) {
+      exist_set_.Insert(rows_.Row(r).Hash(), r);
+      if (maintain_counts_) exist_set_.SetCount(r, survivor_counts[r]);
+    }
+  } else {
+    group_index_ = BPlusTree<U128, uint64_t>();
+    for (uint64_t r = 0; r < survivors_n; ++r) {
+      group_index_.Insert(U128{rows_.Row(r).Hash(), r}, r);
+    }
+  }
+
+  join_index_ = DynIndex();
+  if (use_join_index_) {
+    join_index_.Reserve(survivors_n);
+    for (uint64_t r = 0; r < survivors_n; ++r) {
+      join_index_.Insert(rows_.Row(r)[partition_col_], r);
+    }
+  }
+
+  // Cached row ids and pending deltas are stale after renumbering.
+  if (use_cache_) std::fill(cache_slots_.begin(), cache_slots_.end(), 0);
+  delta_.clear();
+  batch_changed_rows_.clear();
+}
+
+void RecursiveTable::SeedDeltaWithAllRows() {
+  DCD_AFFINITY_GUARD(writer_affinity_);
+  const uint64_t n = rows_.size();
+  delta_.reserve(delta_.size() + n);
+  for (uint64_t r = 0; r < n; ++r) {
+    delta_.push_back(TupleBuf(rows_.Row(r)));
+  }
+}
+
+void RecursiveTable::ResetStats() {
+  merges_ = 0;
+  accepts_ = 0;
+  cache_hits_ = 0;
+  probe_cmps_ = 0;
+  probe_cmps_base_ = exist_set_.probe_cmps() + flat_group_.probe_cmps() +
+                     flat_contrib_.probe_cmps();
 }
 
 void RecursiveTable::MergeMinMaxBatchByScan(

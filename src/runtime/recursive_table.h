@@ -109,6 +109,53 @@ class RecursiveTable {
   /// pipelining).
   void PrefetchJoin(uint64_t key) const { join_index_.Prefetch(key); }
 
+  // --- Incremental maintenance (retained tables between update batches) ---
+
+  /// Enables per-row support counting (kNone + flat backend only): every
+  /// arrival of a tuple — fresh insert, duplicate find, or existence-cache
+  /// hit — bumps the row's derivation counter riding beside the flat
+  /// existence set's slots. In a non-recursive stratum arrivals equal
+  /// derivations exactly, so a deletion can decrement to zero instead of
+  /// running the DRed over-delete/re-derive cycle. Must be called before
+  /// the first merge.
+  void EnableSupportCounts();
+  bool support_counts_enabled() const { return maintain_counts_; }
+  uint64_t SupportCount(uint64_t row_id) const {
+    return exist_set_.CountOf(row_id);
+  }
+
+  /// Decrements a row's support count, returning the new count (0 = the
+  /// row lost its last derivation and must be compacted away).
+  uint64_t DecrementSupport(uint64_t row_id) {
+    DCD_AFFINITY_GUARD(writer_affinity_);
+    return exist_set_.DecrementCount(row_id);
+  }
+
+  /// Row id of the stored tuple equal to `tuple`, or UINT64_MAX. Deletion
+  /// paths use it to resolve a lost derivation to its row. kNone only.
+  uint64_t FindRowId(TupleRef tuple) const;
+
+  /// Removes the given rows (sorted, deduplicated row ids) and rebuilds the
+  /// merge/join indexes over the survivors; clears the existence cache and
+  /// the delta. Surviving rows keep their ids' relative order (and their
+  /// support counts, when enabled). kNone only — aggregate deletion falls
+  /// back to full recomputation at the engine level.
+  void CompactRemoveRows(const std::vector<uint64_t>& dead_row_ids);
+
+  /// Seeds the delta with every stored row — the DRed re-derivation
+  /// restart, where surviving tuples must re-enter the semi-naive loop so
+  /// derivations that consumed over-deleted tuples can be rebuilt.
+  void SeedDeltaWithAllRows();
+
+  /// Hands the partition to a new owning thread: incremental sessions
+  /// retain tables across ApplyUpdates batches but spawn fresh workers for
+  /// each one (debug-only; see ThreadAffinity::Rebind).
+  void RebindWriter() { DCD_AFFINITY_REBIND(writer_affinity_); }
+
+  /// Zeroes the per-run statistics so a retained table reports per-batch
+  /// numbers instead of accumulating across its whole lifetime.
+  void ResetStats();
+
   // --- Statistics ---
   uint64_t merges() const { return merges_; }
   uint64_t accepts() const { return accepts_; }
@@ -118,8 +165,12 @@ class RecursiveTable {
   /// resolution work across both backends) — the engine surfaces the sum
   /// as EvalStats::merge_probe_cmps.
   uint64_t merge_probe_cmps() const {
-    return probe_cmps_ + exist_set_.probe_cmps() + flat_group_.probe_cmps() +
-           flat_contrib_.probe_cmps();
+    const uint64_t total = probe_cmps_ + exist_set_.probe_cmps() +
+                           flat_group_.probe_cmps() +
+                           flat_contrib_.probe_cmps();
+    // A compaction rebuild resets the flat structures' counters, so the
+    // baseline can exceed the live sum; saturate rather than wrap.
+    return total >= probe_cmps_base_ ? total - probe_cmps_base_ : total;
   }
 
  private:
@@ -207,6 +258,12 @@ class RecursiveTable {
   uint64_t cache_hits_ = 0;
   uint64_t probe_cmps_ = 0;  // btree-path comparisons; flat counts live
                              // inside the flat structures.
+
+  // Incremental sessions: support counting (kNone + flat) and the
+  // probe-comparison baseline ResetStats subtracts so merge_probe_cmps()
+  // stays per-batch even though the flat structures' counters accumulate.
+  bool maintain_counts_ = false;
+  uint64_t probe_cmps_base_ = 0;
 };
 
 }  // namespace dcdatalog

@@ -81,6 +81,20 @@ class BPlusTree {
     other.size_ = 0;
   }
 
+  BPlusTree& operator=(BPlusTree&& other) noexcept {
+    if (this == &other) return *this;
+    Destroy(root_, height_);
+    root_ = other.root_;
+    first_leaf_ = other.first_leaf_;
+    height_ = other.height_;
+    size_ = other.size_;
+    other.root_.leaf = new Leaf();
+    other.first_leaf_ = other.root_.leaf;
+    other.height_ = 0;
+    other.size_ = 0;
+    return *this;
+  }
+
   uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   int height() const { return height_; }

@@ -26,6 +26,29 @@ void HashIndex::BuildFromPairs(
   Finish();
 }
 
+void HashIndex::Append(const Relation& relation, uint32_t key_col,
+                       uint64_t from_row) {
+  const uint64_t n = relation.size();
+  if (from_row >= n) return;
+  keys_.reserve(n);
+  row_ids_.reserve(n);
+  for (uint64_t r = from_row; r < n; ++r) {
+    keys_.push_back(relation.Row(r)[key_col]);
+    row_ids_.push_back(r);
+  }
+  if (keys_.size() * 2 > buckets_.size()) {
+    // Outgrew the ~0.5 load factor: rebuild every chain over a wider table.
+    Finish();
+    return;
+  }
+  next_.resize(keys_.size());
+  for (uint64_t i = keys_.size() - (n - from_row); i < keys_.size(); ++i) {
+    uint64_t b = HashMix64(keys_[i]) & bucket_mask_;
+    next_[i] = buckets_[b];
+    buckets_[b] = static_cast<uint32_t>(i);
+  }
+}
+
 void HashIndex::Finish() {
   const uint64_t n = keys_.size();
   if (n == 0) {

@@ -26,6 +26,14 @@ class HashIndex {
   /// Builds over explicit (key, row_id) pairs.
   void BuildFromPairs(const std::vector<std::pair<uint64_t, uint64_t>>& pairs);
 
+  /// Appends rows [from_row, relation.size()) of `relation` to an already
+  /// built index — the incremental-maintenance path syncing a base index
+  /// after an EDB insert batch, instead of rebuilding the whole index. When
+  /// the entry count outgrows the bucket array the chains are rebuilt once
+  /// (same load factor as Build). Probes remain single-threaded-build /
+  /// multi-threaded-read: callers must Append before workers start probing.
+  void Append(const Relation& relation, uint32_t key_col, uint64_t from_row);
+
   bool built() const { return !buckets_.empty() || entries_empty_; }
   uint64_t size() const { return keys_.size(); }
 

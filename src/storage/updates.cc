@@ -1,0 +1,230 @@
+#include "storage/updates.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace dcdatalog {
+namespace {
+
+bool IsSeparator(const std::string& line) {
+  // "---" optionally followed by whitespace.
+  if (line.size() < 3 || line.compare(0, 3, "---") != 0) return false;
+  for (size_t i = 3; i < line.size(); ++i) {
+    if (line[i] != ' ' && line[i] != '\t' && line[i] != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UpdateScript> ParseUpdateScript(const std::string& text) {
+  UpdateScript script;
+  script.batches.emplace_back();
+  bool saw_separator = false;
+  std::istringstream in(text);
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (IsSeparator(line)) {
+      saw_separator = true;
+      script.batches.emplace_back();
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string sign, relation;
+    ls >> sign >> relation;
+    if ((sign != "+" && sign != "-") || relation.empty()) {
+      return Status::ParseError("update script line " +
+                                std::to_string(line_no) +
+                                ": expected '+ rel v...' or '- rel v...'");
+    }
+    UpdateOp op;
+    op.is_insert = sign == "+";
+    op.relation = relation;
+    std::string token;
+    while (ls >> token) op.values.push_back(std::move(token));
+    script.batches.back().ops.push_back(std::move(op));
+  }
+  // No separators and no ops at all: an empty script, not one empty batch.
+  if (!saw_separator && script.batches.size() == 1 &&
+      script.batches[0].ops.empty()) {
+    script.batches.clear();
+  }
+  return script;
+}
+
+Result<UpdateScript> LoadUpdateScriptFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open update script: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseUpdateScript(buf.str());
+}
+
+std::string SerializeUpdateScript(const UpdateScript& script) {
+  std::ostringstream os;
+  for (size_t b = 0; b < script.batches.size(); ++b) {
+    if (b > 0) os << "---\n";
+    for (const UpdateOp& op : script.batches[b].ops) {
+      os << (op.is_insert ? "+" : "-") << ' ' << op.relation;
+      for (const std::string& v : op.values) os << ' ' << v;
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+Result<ResolvedUpdateBatch> ResolveUpdateBatch(const UpdateBatch& batch,
+                                               const Catalog& catalog,
+                                               StringDict* dict) {
+  ResolvedUpdateBatch resolved;
+  resolved.ops.reserve(batch.ops.size());
+  for (const UpdateOp& op : batch.ops) {
+    const Relation* rel = catalog.Find(op.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("update references unknown relation '" +
+                              op.relation + "'");
+    }
+    const Schema& schema = rel->schema();
+    if (op.values.size() != schema.arity()) {
+      return Status::InvalidArgument(
+          "update tuple for '" + op.relation + "' has " +
+          std::to_string(op.values.size()) + " values, relation has arity " +
+          std::to_string(schema.arity()));
+    }
+    ResolvedUpdateOp out;
+    out.is_insert = op.is_insert;
+    out.relation = op.relation;
+    out.row.resize(schema.arity());
+    for (size_t c = 0; c < schema.arity(); ++c) {
+      const std::string& token = op.values[c];
+      switch (schema.type(c)) {
+        case ColumnType::kInt: {
+          char* end = nullptr;
+          const int64_t v = std::strtoll(token.c_str(), &end, 10);
+          if (end == token.c_str() || *end != '\0') {
+            return Status::ParseError("bad int '" + token + "' in update for '" +
+                                      op.relation + "'");
+          }
+          out.row[c] = WordFromInt(v);
+          break;
+        }
+        case ColumnType::kDouble: {
+          char* end = nullptr;
+          const double v = std::strtod(token.c_str(), &end);
+          if (end == token.c_str() || *end != '\0') {
+            return Status::ParseError("bad double '" + token +
+                                      "' in update for '" + op.relation + "'");
+          }
+          out.row[c] = WordFromDouble(v);
+          break;
+        }
+        case ColumnType::kString:
+          out.row[c] = dict->Intern(token);
+          break;
+      }
+    }
+    resolved.ops.push_back(std::move(out));
+  }
+  return resolved;
+}
+
+Result<std::vector<RelationDelta>> NetOutBatch(const ResolvedUpdateBatch& batch,
+                                               const Catalog& catalog) {
+  // Per relation: the stored multiplicity of every touched tuple, and its
+  // net presence after the ops seen so far (0 or 1 — set semantics).
+  struct RelState {
+    std::map<std::vector<uint64_t>, uint64_t> base_count;  // Touched only.
+    std::map<std::vector<uint64_t>, bool> present;
+    std::vector<std::vector<uint64_t>> touch_order;
+  };
+  std::map<std::string, RelState> states;
+
+  for (const ResolvedUpdateOp& op : batch.ops) {
+    RelState& state = states[op.relation];
+    auto it = state.present.find(op.row);
+    if (it == state.present.end()) {
+      // First touch: count the stored copies once.
+      const Relation* rel = catalog.Find(op.relation);
+      if (rel == nullptr) {
+        return Status::NotFound("update references unknown relation '" +
+                                op.relation + "'");
+      }
+      uint64_t count = 0;
+      for (uint64_t r = 0; r < rel->size(); ++r) {
+        TupleRef row = rel->Row(r);
+        if (std::equal(op.row.begin(), op.row.end(), row.data)) ++count;
+      }
+      state.base_count[op.row] = count;
+      it = state.present.emplace(op.row, count > 0).first;
+      state.touch_order.push_back(op.row);
+    }
+    it->second = op.is_insert;
+  }
+
+  std::vector<RelationDelta> deltas;
+  for (auto& [name, state] : states) {
+    RelationDelta delta;
+    delta.relation = name;
+    for (const std::vector<uint64_t>& row : state.touch_order) {
+      const uint64_t base = state.base_count[row];
+      const bool present = state.present[row];
+      if (present && base == 0) {
+        delta.added.push_back(row);
+      } else if (!present && base > 0) {
+        // One removal entry per stored copy: each copy was driven through
+        // the rules during evaluation and contributed its own derivations.
+        for (uint64_t k = 0; k < base; ++k) delta.removed.push_back(row);
+      }
+    }
+    if (!delta.added.empty() || !delta.removed.empty()) {
+      deltas.push_back(std::move(delta));
+    }
+  }
+  return deltas;
+}
+
+Status ApplyDeltasToCatalog(const std::vector<RelationDelta>& deltas,
+                            Catalog* catalog) {
+  for (const RelationDelta& delta : deltas) {
+    Relation* rel = catalog->Find(delta.relation);
+    if (rel == nullptr) {
+      return Status::NotFound("update references unknown relation '" +
+                              delta.relation + "'");
+    }
+    if (!delta.removed.empty()) {
+      // Rebuild the row store in place; the Relation object (and therefore
+      // every cached Relation*) keeps its address.
+      std::map<std::vector<uint64_t>, uint64_t> to_remove;
+      for (const auto& row : delta.removed) ++to_remove[row];
+      std::vector<std::vector<uint64_t>> survivors;
+      std::vector<uint64_t> key(rel->arity());
+      for (uint64_t r = 0; r < rel->size(); ++r) {
+        TupleRef row = rel->Row(r);
+        key.assign(row.data, row.data + row.arity);
+        auto it = to_remove.find(key);
+        if (it != to_remove.end() && it->second > 0) {
+          --it->second;
+          continue;
+        }
+        survivors.push_back(key);
+      }
+      rel->Clear();
+      for (const auto& row : survivors) {
+        rel->Append(TupleRef{row.data(), static_cast<uint32_t>(row.size())});
+      }
+    }
+    for (const auto& row : delta.added) {
+      rel->Append(TupleRef{row.data(), static_cast<uint32_t>(row.size())});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dcdatalog

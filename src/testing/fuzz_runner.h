@@ -87,6 +87,17 @@ RunOutcome RunEngineTraced(const FuzzCase& c, const RunConfig& config,
 /// tests and single-shot use.
 RunOutcome RunCaseOnce(const FuzzCase& c, const RunConfig& config);
 
+/// Streaming-update differential run: evaluates `c` with BeginIncremental,
+/// then applies `c.updates` batch by batch, comparing every output
+/// predicate against a from-scratch reference recompute over the
+/// accumulated EDB after EVERY batch (and after the initial fixpoint).
+/// Unlike RunEngineOnce the oracle rows depend on the update stream, so
+/// this computes them internally instead of taking precomputed rows; the
+/// oracle EDB is maintained by the same NetOutBatch/ApplyDeltasToCatalog
+/// code the engine uses, so both sides see identical relation contents.
+/// A mismatch's detail names the batch index it first appeared after.
+RunOutcome RunIncrementalCase(const FuzzCase& c, const RunConfig& config);
+
 }  // namespace testing_gen
 }  // namespace dcdatalog
 

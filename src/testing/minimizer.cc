@@ -52,6 +52,7 @@ class Shrinker {
       progress = false;
       progress |= DropRules();
       progress |= ShrinkEdb();
+      progress |= ShrinkUpdates();
       progress |= LowerWorkers();
     }
     return MinimizeResult{std::move(best_), workers_, probes_};
@@ -109,6 +110,59 @@ class Shrinker {
           std::vector<Edge> fewer = edges;
           fewer.erase(fewer.begin() + static_cast<ptrdiff_t>(i));
           if (Try(WithEdges(best_, fewer), workers_)) {
+            progress = removed = true;
+            break;
+          }
+          if (!HasBudget()) break;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Update-script passes: drop whole batches first (a delete-free prefix
+  /// often reproduces alone), then halve each surviving batch's op list,
+  /// then drop single ops. Empty batches are kept droppable but legal —
+  /// a failure that needs an empty batch in the stream is itself a find.
+  bool ShrinkUpdates() {
+    bool progress = false;
+    // Drop single batches.
+    bool removed = true;
+    while (removed && HasBudget()) {
+      removed = false;
+      const auto& batches = best_.updates.batches;
+      for (size_t i = batches.size(); i-- > 0;) {
+        FuzzCase candidate = best_;
+        candidate.updates.batches.erase(candidate.updates.batches.begin() +
+                                        static_cast<ptrdiff_t>(i));
+        if (Try(candidate, workers_)) {
+          progress = removed = true;
+          break;
+        }
+        if (!HasBudget()) break;
+      }
+    }
+    // Halve op lists within each batch.
+    for (size_t b = 0; b < best_.updates.batches.size() && HasBudget(); ++b) {
+      while (best_.updates.batches[b].ops.size() >= 2 && HasBudget()) {
+        FuzzCase candidate = best_;
+        auto& ops = candidate.updates.batches[b].ops;
+        ops.resize(ops.size() / 2);
+        if (!Try(candidate, workers_)) break;
+        progress = true;
+      }
+    }
+    // Tail: drop single ops anywhere.
+    removed = true;
+    while (removed && HasBudget()) {
+      removed = false;
+      for (size_t b = 0; b < best_.updates.batches.size() && !removed; ++b) {
+        const auto& ops = best_.updates.batches[b].ops;
+        for (size_t i = ops.size(); i-- > 0;) {
+          FuzzCase candidate = best_;
+          auto& cops = candidate.updates.batches[b].ops;
+          cops.erase(cops.begin() + static_cast<ptrdiff_t>(i));
+          if (Try(candidate, workers_)) {
             progress = removed = true;
             break;
           }

@@ -36,7 +36,9 @@ struct MinimizeResult {
 /// under the probe budget:
 ///   1. drop single rules (outputs recomputed from the surviving heads),
 ///   2. shrink the EDB — halve the edge list, then drop single edges,
-///   3. lower the worker count.
+///   3. shrink the update script — drop whole batches, halve each batch's
+///      op list, then drop single ops (no-op when the case has no updates),
+///   4. lower the worker count.
 /// The result is the smallest case the budget reached; it is guaranteed to
 /// still satisfy `still_fails`.
 MinimizeResult Minimize(const FuzzCase& failing, uint32_t num_workers,

@@ -333,6 +333,78 @@ Graph GenerateEdb(Rng* rng, uint64_t max_vertices) {
   return g;
 }
 
+/// Generates a streaming-update script over arc/warc. Op mix by design:
+/// fresh-edge inserts (sometimes introducing new vertices), duplicate
+/// inserts of live rows (set-semantics no-ops), deletes of live rows,
+/// deletes of rows that never existed, and insert-then-delete of the same
+/// row within one batch (nets to nothing). Live rows are tracked per
+/// relation so delete-existing ops usually hit — "usually" is enough, a
+/// stale pick just degrades into the delete-absent case.
+UpdateScript GenerateUpdates(Rng* rng, const Graph& g,
+                             const GenOptions& opts) {
+  UpdateScript script;
+  const uint64_t n = std::max<uint64_t>(g.num_vertices(), 4);
+  std::vector<std::vector<uint64_t>> live_arc;
+  std::vector<std::vector<uint64_t>> live_warc;
+  for (const Edge& e : g.edges()) {
+    live_arc.push_back({e.src, e.dst});
+    live_warc.push_back({e.src, e.dst, static_cast<uint64_t>(e.weight)});
+  }
+  auto to_op = [](bool insert, const std::string& rel,
+                  const std::vector<uint64_t>& row) {
+    UpdateOp op;
+    op.is_insert = insert;
+    op.relation = rel;
+    for (uint64_t v : row) op.values.push_back(std::to_string(v));
+    return op;
+  };
+  const uint32_t batches =
+      1 + static_cast<uint32_t>(
+              rng->Uniform(std::max<uint32_t>(opts.max_update_batches, 1)));
+  for (uint32_t b = 0; b < batches; ++b) {
+    UpdateBatch batch;
+    // May draw 0 ops: empty batches are a case worth streaming.
+    const uint32_t ops = static_cast<uint32_t>(
+        rng->Uniform(std::max<uint32_t>(opts.max_update_ops, 1) + 1));
+    for (uint32_t o = 0; o < ops; ++o) {
+      const bool warc = rng->Chance(0.3);
+      const std::string rel = warc ? "warc" : "arc";
+      auto& live = warc ? live_warc : live_arc;
+      auto fresh_row = [&]() {
+        std::vector<uint64_t> row = {rng->Uniform(n + 4),
+                                     rng->Uniform(n + 4)};
+        if (warc) row.push_back(1 + rng->Uniform(16));
+        return row;
+      };
+      const double d = rng->NextDouble();
+      if (d < 0.35) {
+        std::vector<uint64_t> row = fresh_row();
+        batch.ops.push_back(to_op(true, rel, row));
+        live.push_back(std::move(row));
+      } else if (d < 0.5 && !live.empty()) {
+        batch.ops.push_back(
+            to_op(true, rel, live[rng->Uniform(live.size())]));
+      } else if (d < 0.75 && !live.empty()) {
+        const size_t i = rng->Uniform(live.size());
+        batch.ops.push_back(to_op(false, rel, live[i]));
+        live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+      } else if (d < 0.9) {
+        // Vertices past n+100 never occur in the EDB or earlier inserts.
+        std::vector<uint64_t> row = {n + 100 + rng->Uniform(50),
+                                     n + 100 + rng->Uniform(50)};
+        if (warc) row.push_back(1 + rng->Uniform(16));
+        batch.ops.push_back(to_op(false, rel, row));
+      } else {
+        const std::vector<uint64_t> row = fresh_row();
+        batch.ops.push_back(to_op(true, rel, row));
+        batch.ops.push_back(to_op(false, rel, row));
+      }
+    }
+    script.batches.push_back(std::move(batch));
+  }
+  return script;
+}
+
 /// Parses and analyzes `program` against the case's own EDB.
 bool Validates(const FuzzCase& c) {
   StringDict dict;
@@ -360,6 +432,10 @@ std::string FuzzCase::ToString() const {
     os << (i > 0 ? ", " : "") << outputs[i];
   }
   os << "]}\n" << program;
+  if (!updates.batches.empty()) {
+    os << "updates (" << updates.batches.size() << " batches):\n"
+       << SerializeUpdateScript(updates);
+  }
   return os.str();
 }
 
@@ -376,7 +452,12 @@ FuzzCase GenerateCase(const GenOptions& options) {
                            std::max<uint64_t>(c.graph.num_vertices(), 8));
     c.program = builder.Build();
     c.outputs = builder.outputs();
-    if (Validates(c)) return c;
+    if (Validates(c)) {
+      if (options.max_update_batches > 0) {
+        c.updates = GenerateUpdates(&rng, c.graph, options);
+      }
+      return c;
+    }
     DCD_LOG(Warning) << "generated program failed analysis (seed "
                      << options.seed << ", attempt " << attempt
                      << "); retrying";
@@ -390,6 +471,9 @@ FuzzCase GenerateCase(const GenOptions& options) {
       "p1(X, Y) :- arc(X, Y).\n"
       "p1(X, Y) :- p1(X, Z), arc(Z, Y).\n";
   c.outputs = {"p1"};
+  if (options.max_update_batches > 0) {
+    c.updates = GenerateUpdates(&rng, c.graph, options);
+  }
   DCD_CHECK(Validates(c));
   return c;
 }

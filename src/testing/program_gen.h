@@ -7,6 +7,7 @@
 
 #include "core/dcdatalog.h"
 #include "graph/graph.h"
+#include "storage/updates.h"
 
 namespace dcdatalog {
 namespace testing_gen {
@@ -25,6 +26,14 @@ struct GenOptions {
   bool allow_nonlinear = true;
   bool allow_negation = true;
   bool allow_mutual = true;
+  /// When non-zero, the case also carries a streaming-update script of
+  /// [1, max_update_batches] EDB batches mixing fresh-edge inserts,
+  /// duplicate inserts, deletes of live edges, deletes of absent edges, and
+  /// insert-then-delete pairs within one batch (see GenerateCase).
+  uint32_t max_update_batches = 0;
+  /// Upper bound on ops per generated batch (actual counts drawn below it;
+  /// empty batches are allowed and occasionally generated on purpose).
+  uint32_t max_update_ops = 8;
 };
 
 /// One generated differential-test case: a Datalog program over a random
@@ -39,6 +48,9 @@ struct FuzzCase {
   std::string program;               // Datalog text, one rule per line.
   Graph graph;                       // EDB; weights already assigned.
   std::vector<std::string> outputs;  // Derived predicates to compare.
+  /// Streaming-update batches against arc/warc, applied in order after the
+  /// initial fixpoint (empty unless GenOptions::max_update_batches > 0).
+  UpdateScript updates;
 
   /// Loads the EDB (arc + warc) and the program into `db`.
   Status Load(DCDatalog* db) const;

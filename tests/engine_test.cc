@@ -6,6 +6,7 @@
 #include <cmath>
 #include <set>
 #include <string>
+#include <tuple>
 
 #include "common/random.h"
 #include "core/dcdatalog.h"
@@ -396,9 +397,12 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
   s.pipeline_rows_selected = 117;
   s.idle_wait_seconds = 113.25;
   s.trace_dropped = 114;
+  s.update_batches = 118;
+  s.delta_tuples_in = 119;
+  s.rederived_tuples = 120;
   const std::string str = s.ToString();
   const auto counters = s.Counters();
-  ASSERT_EQ(counters.size(), 17u)
+  ASSERT_EQ(counters.size(), 20u)
       << "EvalStats grew a field: stamp it above and list it in Counters()";
   std::set<double> sentinels;
   for (const auto& [name, value] : counters) {
@@ -406,9 +410,9 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
         << "counter missing from ToString: " << name;
     sentinels.insert(value);
   }
-  // All 17 sentinels distinct → every field is wired to its own name, not
+  // All 20 sentinels distinct → every field is wired to its own name, not
   // copy-pasted from a neighbour.
-  EXPECT_EQ(sentinels.size(), 17u);
+  EXPECT_EQ(sentinels.size(), 20u);
   EXPECT_NE(str.find("tuples_emitted"), std::string::npos);
   EXPECT_NE(str.find("107"), std::string::npos);
 }
@@ -418,19 +422,68 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
 // batch-at-a-time executor (default) and the tuple-at-a-time baseline, the
 // same way RecursiveTableModes parameterizes the merge-index backends.
 
-class EnginePipelines : public ::testing::TestWithParam<PipelineExecutor> {
+/// How a parameterized run reaches its fixpoint: one from-scratch Run(), or
+/// an incremental session seeded with half the EDB whose second half
+/// arrives as a streaming update batch. Both must produce identical rows.
+enum class EvalMode { kScratch, kIncrementalSplit };
+
+class EnginePipelines
+    : public ::testing::TestWithParam<std::tuple<PipelineExecutor, EvalMode>> {
  protected:
   EngineOptions POpts(uint32_t workers, CoordinationMode mode) const {
     EngineOptions o = Opts(workers, mode);
-    o.pipeline_executor = GetParam();
+    o.pipeline_executor = std::get<0>(GetParam());
     return o;
   }
+
+  EvalMode Mode() const { return std::get<1>(GetParam()); }
 
   // Runs `program` over `g` loaded as "arc" and returns `pred`'s rows.
   std::set<std::vector<uint64_t>> RunRows(const EngineOptions& o,
                                           const Graph& g,
                                           const std::string& program,
                                           const std::string& pred) {
+    DCDatalog db(o);
+    if (Mode() == EvalMode::kScratch) {
+      db.AddGraph(g, "arc");
+      EXPECT_TRUE(db.LoadProgramText(program).ok());
+      auto stats = db.Run();
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      if (!stats.ok()) return {};
+    } else {
+      // Seed with the first half of the edges, reach fixpoint, then stream
+      // in the second half as one update batch.
+      const std::vector<Edge>& edges = g.edges();
+      const size_t half = edges.size() / 2;
+      Graph seed;
+      for (size_t i = 0; i < half; ++i) {
+        seed.AddEdge(edges[i].src, edges[i].dst);
+      }
+      db.AddGraph(seed, "arc");
+      EXPECT_TRUE(db.LoadProgramText(program).ok());
+      auto begin = db.BeginIncremental();
+      EXPECT_TRUE(begin.ok()) << begin.status().ToString();
+      if (!begin.ok()) return {};
+      UpdateBatch batch;
+      for (size_t i = half; i < edges.size(); ++i) {
+        batch.ops.push_back(UpdateOp{true, "arc",
+                                     {std::to_string(edges[i].src),
+                                      std::to_string(edges[i].dst)}});
+      }
+      auto stats = db.ApplyUpdates(batch);
+      EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+      if (!stats.ok()) return {};
+    }
+    return RowSet(*db.ResultFor(pred));
+  }
+
+  // Single-worker tuple-executor from-scratch run — the oracle every
+  // (executor, eval-mode) combination must match.
+  std::set<std::vector<uint64_t>> OracleRows(const Graph& g,
+                                             const std::string& program,
+                                             const std::string& pred) {
+    EngineOptions o = Opts(1, CoordinationMode::kGlobal);
+    o.pipeline_executor = PipelineExecutor::kTuple;
     DCDatalog db(o);
     db.AddGraph(g, "arc");
     EXPECT_TRUE(db.LoadProgramText(program).ok());
@@ -439,25 +492,19 @@ class EnginePipelines : public ::testing::TestWithParam<PipelineExecutor> {
     if (!stats.ok()) return {};
     return RowSet(*db.ResultFor(pred));
   }
-
-  // Single-worker tuple-executor run — the oracle both executors must match.
-  std::set<std::vector<uint64_t>> OracleRows(const Graph& g,
-                                             const std::string& program,
-                                             const std::string& pred) {
-    EngineOptions o = Opts(1, CoordinationMode::kGlobal);
-    o.pipeline_executor = PipelineExecutor::kTuple;
-    return RunRows(o, g, program, pred);
-  }
 };
 
 TEST_P(EnginePipelines, TcMatchesOracleAcrossWorkerCounts) {
   Graph g = GenerateGnp(50, 0.05, 77);
   auto oracle = OracleRows(g, kTc, "tc");
   ASSERT_FALSE(oracle.empty());
-  for (uint32_t workers : {1, 2, 4}) {
-    EXPECT_EQ(RunRows(POpts(workers, CoordinationMode::kDws), g, kTc, "tc"),
-              oracle)
-        << workers << " workers";
+  for (CoordinationMode mode : {CoordinationMode::kGlobal,
+                                CoordinationMode::kSsp,
+                                CoordinationMode::kDws}) {
+    for (uint32_t workers : {1, 2, 4}) {
+      EXPECT_EQ(RunRows(POpts(workers, mode), g, kTc, "tc"), oracle)
+          << workers << " workers, strategy " << static_cast<int>(mode);
+    }
   }
 }
 
@@ -503,7 +550,7 @@ TEST_P(EnginePipelines, PipelineCountersTrackExecutor) {
   ASSERT_TRUE(db.LoadProgramText(kTc).ok());
   auto stats = db.Run();
   ASSERT_TRUE(stats.ok());
-  if (GetParam() == PipelineExecutor::kBatch) {
+  if (std::get<0>(GetParam()) == PipelineExecutor::kBatch) {
     EXPECT_GT(stats.value().pipeline_batches, 0u);
     EXPECT_GT(stats.value().pipeline_rows_selected, 0u);
     // Batches are at most kBatchPipelineLanes rows, so there are at least
@@ -518,9 +565,15 @@ TEST_P(EnginePipelines, PipelineCountersTrackExecutor) {
 
 INSTANTIATE_TEST_SUITE_P(
     Ablations, EnginePipelines,
-    ::testing::Values(PipelineExecutor::kBatch, PipelineExecutor::kTuple),
-    [](const ::testing::TestParamInfo<PipelineExecutor>& info) {
-      return std::string(PipelineExecutorName(info.param));
+    ::testing::Combine(::testing::Values(PipelineExecutor::kBatch,
+                                         PipelineExecutor::kTuple),
+                       ::testing::Values(EvalMode::kScratch,
+                                         EvalMode::kIncrementalSplit)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<PipelineExecutor, EvalMode>>& info) {
+      return std::string(PipelineExecutorName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == EvalMode::kScratch ? "Scratch"
+                                                            : "IncSplit");
     });
 
 TEST(EngineTest, OutputsDirectiveSurvivesPlanning) {

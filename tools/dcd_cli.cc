@@ -26,7 +26,11 @@
 //   --pipeline-executor batch|tuple    rule-pipeline executor (default
 //                      batch; tuple is the ablation baseline)
 //   --out pred=path    write one predicate to a file (repeatable)
-//   --stats            print EvalStats
+//   --updates FILE     after the initial fixpoint, stream EDB update
+//                      batches from FILE ("+ rel v..." / "- rel v..." per
+//                      line, batches separated by "---") and maintain the
+//                      fixpoint incrementally after each batch
+//   --stats            print EvalStats (with --updates: once per batch)
 //   --seed N           generator seed (default 42)
 //   --trace-out FILE   write a Chrome trace-event JSON of the run (implies
 //                      tracing on); load it in Perfetto / chrome://tracing
@@ -46,6 +50,7 @@
 #include "datalog/analysis.h"
 #include "graph/generators.h"
 #include "storage/text_io.h"
+#include "storage/updates.h"
 
 namespace dcdatalog {
 namespace {
@@ -69,6 +74,7 @@ struct Options {
   int64_t weights = 0;
   std::string trace_out;
   std::string metrics_out;
+  std::string updates_path;
 };
 
 bool ParseCommon(int argc, char** argv, int start, Options* opts) {
@@ -196,6 +202,10 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       const char* v = next();
       if (!v || *v == '\0') return false;
       opts->metrics_out = v;
+    } else if (arg == "--updates") {
+      const char* v = next();
+      if (!v || *v == '\0') return false;
+      opts->updates_path = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -278,13 +288,37 @@ int CmdRun(const Options& opts) {
   }
   if (int rc = LoadRelations(&db, opts); rc != 0) return rc;
 
-  auto stats = db.Run();
+  Result<EvalStats> stats =
+      opts.updates_path.empty() ? db.Run() : db.BeginIncremental();
   if (!stats.ok()) {
     std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
     return 1;
   }
   if (opts.stats) {
     std::fprintf(stderr, "%s\n", stats.value().ToString().c_str());
+  }
+  if (!opts.updates_path.empty()) {
+    auto script = LoadUpdateScriptFile(opts.updates_path);
+    if (!script.ok()) {
+      std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t b = 0; b < script.value().batches.size(); ++b) {
+      auto bstats = db.ApplyUpdates(script.value().batches[b]);
+      if (!bstats.ok()) {
+        std::fprintf(stderr, "batch %zu: %s\n", b,
+                     bstats.status().ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "batch %zu: %llu delta tuples in %.6fs\n", b,
+                   static_cast<unsigned long long>(
+                       bstats.value().delta_tuples_in),
+                   bstats.value().seconds);
+      if (opts.stats) {
+        std::fprintf(stderr, "%s\n", bstats.value().ToString().c_str());
+      }
+    }
   }
   if (!opts.trace_out.empty()) {
     Status w = WriteChromeTraceFile(stats.value(), opts.trace_out);

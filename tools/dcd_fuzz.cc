@@ -26,6 +26,12 @@
 //                      each case runs under (default both, diffing the
 //                      vectorized executor against the tuple baseline)
 //   --max-vertices=N   EDB size cap for the generator (default 60)
+//   --update-batches=N generate a streaming-update script of up to N EDB
+//                      batches per case and diff incremental maintenance
+//                      after every batch against a from-scratch reference
+//                      recompute (default 0: no update axis)
+//   --updates-file=P   with --replay: apply this update script after the
+//                      initial fixpoint, diffing after every batch
 //   --timeout-ms=N     per-run wall clock before a child counts as hung
 //                      (default 20000)
 //   --max-iters=N      engine iteration safety valve (default 200000)
@@ -128,6 +134,7 @@ struct FuzzFlags {
   std::vector<PipelineExecutor> pipelines = {PipelineExecutor::kBatch,
                                              PipelineExecutor::kTuple};
   uint64_t max_vertices = 60;
+  uint64_t update_batches = 0;
   uint64_t timeout_ms = 20000;
   uint64_t max_iters = 200000;
   bool chaos = false;
@@ -139,6 +146,7 @@ struct FuzzFlags {
   bool verbose = false;
   std::string replay_program;
   std::string replay_edges;
+  std::string replay_updates;
 };
 
 int Usage() {
@@ -258,6 +266,10 @@ bool ParseFlags(int argc, char** argv, FuzzFlags* flags) {
       if (!ParsePipelines(v, &flags->pipelines)) return false;
     } else if ((v = value("--max-vertices"))) {
       flags->max_vertices = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--update-batches"))) {
+      flags->update_batches = std::strtoull(v, nullptr, 10);
+    } else if ((v = value("--updates-file"))) {
+      flags->replay_updates = v;
     } else if ((v = value("--timeout-ms"))) {
       flags->timeout_ms = std::strtoull(v, nullptr, 10);
     } else if ((v = value("--max-iters"))) {
@@ -319,6 +331,18 @@ void ReportChildFailure(const FuzzCase& c, const RunOutcome& outcome) {
                outcome.detail.c_str());
 }
 
+/// One differential evaluation: streaming-update cases run the incremental
+/// engine against per-batch reference recomputes (the oracle depends on the
+/// batch stream, so it is computed inside); plain cases diff one engine run
+/// against the precomputed oracle rows.
+RunOutcome Evaluate(const FuzzCase& c, const RunConfig& config,
+                    const OracleRows& oracle) {
+  if (!c.updates.batches.empty()) {
+    return testing_gen::RunIncrementalCase(c, config);
+  }
+  return testing_gen::RunEngineOnce(c, config, oracle);
+}
+
 /// Child-side evaluation: optionally installs a chaos schedule, runs the
 /// engine against the (fork-inherited) oracle rows, and maps the outcome
 /// onto the exit-code protocol. Never returns (uses _exit).
@@ -326,7 +350,7 @@ void ReportChildFailure(const FuzzCase& c, const RunOutcome& outcome) {
                            const OracleRows& oracle, const FuzzFlags& flags,
                            uint64_t run_index) {
   if (flags.chaos) InstallChaos(flags, run_index);
-  const RunOutcome outcome = testing_gen::RunEngineOnce(c, config, oracle);
+  const RunOutcome outcome = Evaluate(c, config, oracle);
   ReportChildFailure(c, outcome);
   switch (outcome.kind) {
     case OutcomeKind::kAgree:
@@ -367,7 +391,7 @@ RunResult RunIsolated(const FuzzCase& c, const RunConfig& config,
                       uint64_t run_index) {
   if (flags.no_fork) {
     if (flags.chaos) InstallChaos(flags, run_index);
-    const RunOutcome outcome = testing_gen::RunEngineOnce(c, config, oracle);
+    const RunOutcome outcome = Evaluate(c, config, oracle);
     ReportChildFailure(c, outcome);
     return ToRunResult(outcome.kind);
   }
@@ -447,6 +471,10 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
     std::ofstream dl(base + ".dl");
     dl << reduced.program;
   }
+  if (!reduced.updates.batches.empty()) {
+    std::ofstream up(base + ".updates");
+    up << SerializeUpdateScript(reduced.updates);
+  }
   Status saved = SaveEdgeList(reduced.graph, base + ".edges");
   if (!saved.ok()) {
     std::fprintf(stderr, "[dcd_fuzz] cannot write %s.edges: %s\n",
@@ -466,15 +494,20 @@ void WriteRepro(const FuzzFlags& flags, const std::string& stem,
          << "injected bug: "
          << (flags.inject_bug.empty() ? "none" : flags.inject_bug) << "\n"
          << "original: " << original.graph.num_edges() << " edges, "
-         << RuleCount(original.program) << " rules\n"
+         << RuleCount(original.program) << " rules, "
+         << original.updates.batches.size() << " update batches\n"
          << "reduced: " << reduced.graph.num_edges() << " edges, "
-         << RuleCount(reduced.program) << " rules\n"
+         << RuleCount(reduced.program) << " rules, "
+         << reduced.updates.batches.size() << " update batches\n"
          << "replay:\n"
          << "  dcd_fuzz --replay=" << base << ".dl --edges=" << base
          << ".edges --modes=" << ModeFlag(mode)
          << " --workers=" << reduced_workers
          << " --backends=" << MergeIndexBackendName(backend)
          << " --pipelines=" << PipelineExecutorName(pipeline)
+         << (reduced.updates.batches.empty()
+                 ? ""
+                 : " --updates-file=" + base + ".updates")
          << (flags.chaos ? " --chaos" : "")
          << (flags.inject_bug.empty()
                  ? ""
@@ -559,6 +592,16 @@ int RunReplay(const FuzzFlags& flags) {
     }
     c.graph = std::move(loaded).value();
   }
+  if (!flags.replay_updates.empty()) {
+    auto script = LoadUpdateScriptFile(flags.replay_updates);
+    if (!script.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n",
+                   flags.replay_updates.c_str(),
+                   script.status().ToString().c_str());
+      return 2;
+    }
+    c.updates = std::move(script).value();
+  }
   OracleRows oracle;
   const RunOutcome ref =
       testing_gen::ComputeOracle(c, /*max_rounds=*/100000, &oracle);
@@ -619,6 +662,7 @@ int FuzzMain(int argc, char** argv) {
     GenOptions gen;
     gen.seed = seed;
     gen.max_vertices = flags.max_vertices;
+    gen.max_update_batches = static_cast<uint32_t>(flags.update_batches);
     const FuzzCase c = testing_gen::GenerateCase(gen);
 
     // The oracle runs once per case, in-process: ReferenceEvaluate is

@@ -77,6 +77,8 @@ HOT_PATH_FILES = {
     "src/runtime/base_index_set.cc",
     "src/storage/flat_set.h",
     "src/storage/flat_map.h",
+    "src/storage/updates.h",
+    "src/storage/updates.cc",
     "src/core/engine.cc",
     "src/core/dws_controller.h",
     "src/core/dws_controller.cc",
@@ -127,9 +129,12 @@ HOT_LOOP_FUNCTIONS = {
         "RunFilter", "RunBind", "RunAntiJoin", "EmitLevel",
     ],
     "src/runtime/batch_pipeline.h": ["CopyLane"],
+    # RunUpdateRules drives every post-watermark EDB row through a rule
+    # pipeline per incremental batch; PreparePipeline inside it is
+    # once-per-rule and allocation there does not match textually.
     "src/core/engine.cc": [
         "GatherAll", "PushWithBackpressure", "LocalIteration", "InactiveWait",
-        "GlobalLoop", "SspLoop", "DwsLoop", "UpdateDws",
+        "GlobalLoop", "SspLoop", "DwsLoop", "UpdateDws", "RunUpdateRules",
     ],
     # The trace ring's Append and the histogram's Add run inside every one
     # of the engine hot loops above; they must stay allocation-free.
