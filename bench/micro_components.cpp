@@ -342,6 +342,60 @@ BENCHMARK(BM_DistributeGatherPerTuple)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Per-worker state for the blocked bench: the real Distributor takes
+/// {function pointer, context} sinks (its hot-path contract), so the
+/// send/self-loop callbacks are static thunks over this struct rather than
+/// capturing lambdas.
+struct BlockedCommWorker {
+  std::vector<std::unique_ptr<SpscQueue<MsgBlock>>>* grid = nullptr;
+  TerminationDetector* det = nullptr;
+  std::atomic<uint64_t>* gathered = nullptr;
+  uint32_t wid = 0;
+  std::vector<MsgBlock> batch;
+  std::vector<TupleBuf> scratch;
+  uint64_t self_tuples = 0;
+
+  SpscQueue<MsgBlock>& Ring(uint32_t from, uint32_t to) {
+    return *(*grid)[from * kCommWorkers + to];
+  }
+
+  uint64_t Drain() {
+    batch.clear();
+    for (uint32_t src = 0; src < kCommWorkers; ++src) {
+      Ring(src, wid).PopBatch(&batch);
+    }
+    uint64_t tuples = 0;
+    for (const MsgBlock& b : batch) {
+      for (uint32_t t = 0; t < b.count; ++t) {
+        scratch.push_back(TupleBuf::FromWords(b.Tuple(t), b.arity));
+      }
+      tuples += b.count;
+    }
+    if (tuples == 0) return 0;
+    det->AddConsumed(wid, tuples);  // One RMW per drain.
+    gathered->fetch_add(tuples, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(scratch.data());
+    scratch.clear();
+    return tuples;
+  }
+
+  static void Send(void* c, uint32_t dest, const MsgBlock& block) {
+    auto* w = static_cast<BlockedCommWorker*>(c);
+    while (!w->Ring(w->wid, dest).TryPush(block)) {
+      if (w->Drain() == 0) std::this_thread::yield();
+    }
+    w->det->OnBlockPushed(dest, block.count);  // Two RMWs per block.
+  }
+
+  static void SelfLoop(void* c, uint32_t, const uint64_t* wire,
+                       uint32_t arity) {
+    // Self-loop bypass: straight into local gather scratch.
+    auto* w = static_cast<BlockedCommWorker*>(c);
+    w->scratch.push_back(TupleBuf::FromWords(wire, arity));
+    ++w->self_tuples;
+  }
+};
+
 void BM_DistributeGatherBlocked(benchmark::State& state) {
   SccPlan scc = CommScc();
   HeadSpec head = CommHead();
@@ -350,60 +404,31 @@ void BM_DistributeGatherBlocked(benchmark::State& state) {
     for (uint32_t i = 0; i < kCommWorkers * kCommWorkers; ++i) {
       grid.push_back(std::make_unique<SpscQueue<MsgBlock>>(64));
     }
-    auto ring = [&](uint32_t from, uint32_t to) -> SpscQueue<MsgBlock>& {
-      return *grid[from * kCommWorkers + to];
-    };
     TerminationDetector det(kCommWorkers);
     std::atomic<uint64_t> gathered{0};
     auto worker = [&](uint32_t wid) {
-      std::vector<MsgBlock> batch;
-      std::vector<TupleBuf> scratch;
-      auto drain = [&]() -> uint64_t {
-        batch.clear();
-        for (uint32_t src = 0; src < kCommWorkers; ++src) {
-          ring(src, wid).PopBatch(&batch);
-        }
-        uint64_t tuples = 0;
-        for (const MsgBlock& b : batch) {
-          for (uint32_t t = 0; t < b.count; ++t) {
-            scratch.push_back(TupleBuf::FromWords(b.Tuple(t), b.arity));
-          }
-          tuples += b.count;
-        }
-        if (tuples == 0) return 0;
-        det.AddConsumed(wid, tuples);  // One RMW per drain.
-        gathered.fetch_add(tuples, std::memory_order_relaxed);
-        benchmark::DoNotOptimize(scratch.data());
-        scratch.clear();
-        return tuples;
-      };
-      uint64_t self_tuples = 0;
+      BlockedCommWorker w;
+      w.grid = &grid;
+      w.det = &det;
+      w.gathered = &gathered;
+      w.wid = wid;
       Distributor dist(
           &scc, kCommWorkers, wid, /*partial_agg=*/false,
-          [&](uint32_t dest, const MsgBlock& block) {
-            while (!ring(wid, dest).TryPush(block)) {
-              if (drain() == 0) std::this_thread::yield();
-            }
-            det.OnBlockPushed(dest, block.count);  // Two RMWs per block.
-          },
-          [&](uint32_t, const uint64_t* wire, uint32_t arity) {
-            // Self-loop bypass: straight into local gather scratch.
-            scratch.push_back(TupleBuf::FromWords(wire, arity));
-            ++self_tuples;
-          });
+          Distributor::BlockSink{&BlockedCommWorker::Send, &w},
+          Distributor::SelfLoopSink{&BlockedCommWorker::SelfLoop, &w});
       for (uint64_t base = 0; base < kCommTuples; base += kCommChunk) {
         for (uint64_t i = base; i < base + kCommChunk; ++i) {
           uint64_t wire[2] = {HashCombine(wid, i), i};
           dist.Emit(head, wire);
         }
         dist.Flush();  // Every local iteration ships partial blocks.
-        benchmark::DoNotOptimize(scratch.data());
-        scratch.clear();
-        drain();
+        benchmark::DoNotOptimize(w.scratch.data());
+        w.scratch.clear();
+        w.Drain();
       }
-      gathered.fetch_add(self_tuples, std::memory_order_relaxed);
+      gathered.fetch_add(w.self_tuples, std::memory_order_relaxed);
       while (gathered.load(std::memory_order_relaxed) < kCommTotal) {
-        if (drain() == 0) std::this_thread::yield();
+        if (w.Drain() == 0) std::this_thread::yield();
       }
     };
     std::vector<std::thread> threads;

@@ -4,6 +4,8 @@
 #include <array>
 #include <cstdint>
 
+#include "common/hot_path.h"
+
 namespace dcdatalog {
 
 /// Fixed-size log-bucket histogram for hot-path measurements (iteration
@@ -17,7 +19,7 @@ class LogHistogram {
  public:
   static constexpr uint32_t kBuckets = 65;  // 0 plus one per bit of uint64_t.
 
-  void Add(uint64_t value) {
+  DCD_HOT_ROOT void Add(uint64_t value) {
     buckets_[BucketOf(value)] += 1;
     total_ += value;
     if (value > max_) max_ = value;

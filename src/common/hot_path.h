@@ -1,0 +1,51 @@
+#ifndef DCDATALOG_COMMON_HOT_PATH_H_
+#define DCDATALOG_COMMON_HOT_PATH_H_
+
+// Annotation vocabulary for the interprocedural hot-path purity analyzer
+// (tools/analyze/dcd_deepcheck.py, docs/INTERNALS.md §9). The analyzer
+// proves that no path reachable from a declared hot root performs raw heap
+// allocation, takes a lock, throws, invokes a std::function, or dispatches
+// through an unannotated virtual call. These markers are how source code
+// talks to that proof; they all compile to nothing (DCD_COLD_FN compiles
+// to an inlining barrier) and have zero behavioral effect.
+
+// DCD_HOT_ROOT marks a function definition as an entry point of the proven
+// hot-path set: everything transitively callable from it must satisfy the
+// purity rules. Place it directly before the declaration's return type:
+//
+//   DCD_HOT_ROOT void Append(TraceEvent ev) { ... }
+//
+// The analyzer cross-checks annotated functions against its built-in root
+// registry (--check-roots): a root may be neither added nor removed on one
+// side only, so new hot loops cannot appear unregistered.
+#define DCD_HOT_ROOT
+
+// DCD_COLD_CALL(justification) marks the call on the same or the next line
+// as a deliberate cold escape from a hot path: the analyzer stops
+// traversal through that call site and suppresses purity findings on that
+// line. The justification is mandatory (a string literal of at least 15
+// characters) and should say *why* the call is not per-tuple work —
+// "amortized growth", "once per rule, not per row", "bounded wait per
+// Algorithm 2" — mirroring the `dcd-lint: allow(rule): reason` discipline.
+// An empty or short justification is itself a deepcheck error.
+//
+//   DCD_COLD_CALL("once per update rule per batch, not per driven row");
+//   const Relation* rel = catalog_->Find(rule.driving_relation);
+#define DCD_COLD_CALL(justification)
+
+// DCD_COLD_FN keeps a deliberately-cold callee out-of-line in optimized
+// builds. The binary-level backstop (tools/analyze/check_hot_symbols.py)
+// disassembles the release binary's hot functions and verifies no direct
+// malloc / operator new / pthread_mutex_lock call survives inlining; a
+// cold callee that the source analyzer excused via DCD_COLD_CALL must
+// therefore stay a distinct symbol, or its allocation would inline
+// straight into the hot function's body and fail the binary check.
+// DCD_COLD_FN does NOT excuse the source-level analysis — the call site
+// still needs its DCD_COLD_CALL justification.
+#if defined(__GNUC__) || defined(__clang__)
+#define DCD_COLD_FN __attribute__((noinline, cold))
+#else
+#define DCD_COLD_FN
+#endif
+
+#endif  // DCDATALOG_COMMON_HOT_PATH_H_

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hot_path.h"
+
 namespace dcdatalog {
 
 /// What one trace event records. Spans (start..end) cover where a worker's
@@ -69,7 +71,7 @@ class TraceRing {
 
   bool enabled() const { return mask_ != 0; }
 
-  void Append(const TraceEvent& ev) {
+  DCD_HOT_ROOT void Append(const TraceEvent& ev) {
     if (mask_ == 0) return;
     slots_[head_ & mask_] = ev;
     ++head_;

@@ -8,6 +8,7 @@
 
 #include "common/affinity.h"
 #include "common/chaos.h"
+#include "common/hot_path.h"
 #include "common/logging.h"
 
 namespace dcdatalog {
@@ -35,7 +36,7 @@ class SpscQueue {
   uint32_t capacity() const { return capacity_; }
 
   /// Producer side. Returns false if the ring is full.
-  bool TryPush(const T& item) {
+  DCD_HOT_ROOT bool TryPush(const T& item) {
     // Debug ownership check: the first pushing thread becomes THE producer;
     // any other thread pushing afterwards dies deterministically.
     DCD_AFFINITY_GUARD(producer_affinity_);
@@ -57,7 +58,7 @@ class SpscQueue {
   }
 
   /// Consumer side. Returns false if the ring is empty.
-  bool TryPop(T* out) {
+  DCD_HOT_ROOT bool TryPop(T* out) {
     DCD_AFFINITY_GUARD(consumer_affinity_);
     DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);
@@ -73,7 +74,8 @@ class SpscQueue {
   /// Consumer side: pops up to `max` items into `out` (appended). Returns
   /// the number popped. Batch draining is what Gather does once per local
   /// iteration.
-  uint64_t PopBatch(std::vector<T>* out, uint64_t max = UINT64_MAX) {
+  DCD_HOT_ROOT uint64_t PopBatch(std::vector<T>* out,
+                                 uint64_t max = UINT64_MAX) {
     DCD_AFFINITY_GUARD(consumer_affinity_);
     DCD_CHAOS_POINT(kQueuePop);
     const uint64_t head = head_.load(std::memory_order_relaxed);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hot_path.h"
+
 namespace dcdatalog {
 
 DwsController::DwsController(uint32_t num_sources,
@@ -11,7 +13,8 @@ DwsController::DwsController(uint32_t num_sources,
       arrivals_(num_sources),
       last_drain_ns_(num_sources, 0) {}
 
-void DwsController::OnDrain(uint32_t j, uint64_t n, int64_t now_ns) {
+DCD_HOT_ROOT void DwsController::OnDrain(uint32_t j, uint64_t n,
+                                         int64_t now_ns) {
   if (n == 0) return;
   if (last_drain_ns_[j] != 0) {
     const double interval_s =
@@ -24,14 +27,16 @@ void DwsController::OnDrain(uint32_t j, uint64_t n, int64_t now_ns) {
   last_drain_ns_[j] = now_ns;
 }
 
-void DwsController::OnIteration(int64_t duration_ns, uint64_t tuples) {
+DCD_HOT_ROOT void DwsController::OnIteration(int64_t duration_ns,
+                                             uint64_t tuples) {
   const double per_tuple_s = static_cast<double>(duration_ns) * 1e-9 /
                              static_cast<double>(std::max<uint64_t>(tuples, 1));
   service_.Add(std::max(per_tuple_s, 1e-12));
   if (service_.count() > 4096) service_.Decay();
 }
 
-void DwsController::Update(const std::vector<uint64_t>& buffer_sizes) {
+DCD_HOT_ROOT void DwsController::Update(
+    const std::vector<uint64_t>& buffer_sizes) {
   omega_ = 0.0;
   tau_ns_ = 0;
   overloaded_ = false;

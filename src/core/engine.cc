@@ -14,6 +14,7 @@
 
 #include "common/chaos.h"
 #include "common/hash.h"
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "concurrent/barrier.h"
@@ -289,18 +290,17 @@ class SccExecutor {
     }
     ctx.regs.assign(max_regs, 0);
 
+    // Sink thunks take the WorkerContext through the {fn, ctx} pair — ctx
+    // lives on this frame for the whole SCC run, and carries the exec
+    // pointer for the backpressure path. Plain function pointers, not
+    // std::function: the send path is per-block and the self-loop path is
+    // per-tuple, and both thunks are registered deepcheck hot roots (the
+    // analyzer verifies them from their own entry, since it cannot see
+    // through the pointer).
     ctx.distributor = std::make_unique<Distributor>(
         &scc_, n_, wid, options_.enable_partial_aggregation,
-        [this, &ctx](uint32_t dest, const MsgBlock& block) {
-          PushWithBackpressure(&ctx, dest, block);
-        },
-        // Self-loop bypass: the tuple's partition is this worker, so it
-        // goes straight into the local gather scratch — the next GatherAll
-        // merges it with zero ring traffic and zero detector accounting.
-        [&ctx](uint32_t replica, const uint64_t* wire, uint32_t arity) {
-          ctx.gather_scratch[replica].push_back(
-              TupleBuf::FromWords(wire, arity));
-        });
+        Distributor::BlockSink{&SccExecutor::DistSinkThunk, &ctx},
+        Distributor::SelfLoopSink{&SccExecutor::DistSelfSinkThunk, &ctx});
 
     // Phase 0: base rules (or, in update mode, the update rules over rows
     // past the relation watermarks). Results flow through Distribute/Gather
@@ -360,18 +360,37 @@ class SccExecutor {
     const PhysicalRule* rule;
   };
 
-  static void EmitTupleThunk(void* c, const uint64_t* regs) {
+  DCD_HOT_ROOT static void EmitTupleThunk(void* c, const uint64_t* regs) {
     auto* e = static_cast<RuleEmitCtx*>(c);
     uint64_t wire[kMaxWireWords];
     BuildWireTuple(e->rule->head, regs, wire);
     e->ctx->distributor->Emit(e->rule->head, wire);
   }
 
-  static void EmitBatchThunk(void* c, const HeadSpec& head,
-                             const uint64_t* wires, uint32_t count,
-                             uint32_t wire_arity) {
+  DCD_HOT_ROOT static void EmitBatchThunk(void* c, const HeadSpec& head,
+                                          const uint64_t* wires,
+                                          uint32_t count,
+                                          uint32_t wire_arity) {
     auto* ctx = static_cast<WorkerContext*>(c);
     ctx->distributor->EmitBatch(head, wires, count, wire_arity);
+  }
+
+  /// Distributor sink thunks (BlockSink / SelfLoopSink): ctx is the
+  /// emitting worker's WorkerContext.
+  DCD_HOT_ROOT static void DistSinkThunk(void* c, uint32_t dest,
+                                         const MsgBlock& block) {
+    auto* ctx = static_cast<WorkerContext*>(c);
+    ctx->exec->PushWithBackpressure(ctx, dest, block);
+  }
+
+  /// Self-loop bypass: the tuple's partition is the emitting worker, so it
+  /// goes straight into the local gather scratch — the next GatherAll
+  /// merges it with zero ring traffic and zero detector accounting.
+  DCD_HOT_ROOT static void DistSelfSinkThunk(void* c, uint32_t replica,
+                                             const uint64_t* wire,
+                                             uint32_t arity) {
+    auto* ctx = static_cast<WorkerContext*>(c);
+    ctx->gather_scratch[replica].push_back(TupleBuf::FromWords(wire, arity));
   }
 
   void RunBaseRules(WorkerContext* ctx) {
@@ -423,7 +442,7 @@ class SccExecutor {
   /// worker owning the probe key's partition (the replicas are
   /// hash-partitioned, a worker only holds its own slice). Rules with no
   /// recursive probes split the new rows by range instead.
-  void RunUpdateRules(WorkerContext* ctx) {
+  DCD_HOT_ROOT void RunUpdateRules(WorkerContext* ctx) {
     PipelineContext pctx;
     pctx.catalog = catalog_;
     pctx.base_indexes = base_indexes_;
@@ -433,6 +452,7 @@ class SccExecutor {
     const bool batch =
         options_.pipeline_executor == PipelineExecutor::kBatch;
     for (const PhysicalRule& rule : scc_.update_rules) {
+      DCD_COLD_CALL("catalog lookup once per update rule per batch, never per driven row");
       const Relation* rel = catalog_->Find(rule.driving_relation);
       if (rel == nullptr) continue;
       const uint64_t size = rel->size();
@@ -486,7 +506,7 @@ class SccExecutor {
   /// the replicas (together with any tuples the self-loop bypass already
   /// parked in the gather scratch). Returns the number of ring tuples
   /// consumed — the quantity charged to the termination detector.
-  uint64_t GatherAll(WorkerContext* ctx) {
+  DCD_HOT_ROOT uint64_t GatherAll(WorkerContext* ctx) {
     DCD_CHAOS_POINT(kGather);
     uint64_t total = 0;
     const int64_t now = MonotonicNanos();
@@ -520,8 +540,8 @@ class SccExecutor {
     return total;
   }
 
-  void PushWithBackpressure(WorkerContext* ctx, uint32_t dest,
-                            const MsgBlock& block) {
+  DCD_HOT_ROOT void PushWithBackpressure(WorkerContext* ctx, uint32_t dest,
+                                         const MsgBlock& block) {
     BlockQueue& q = Queue(ctx->wid, dest);
     // Raise the occupancy mirror before the push: the consumer subtracts
     // only blocks it popped, so add-then-push can transiently overstate but
@@ -550,7 +570,7 @@ class SccExecutor {
 
   /// One local semi-naive iteration: snapshot the deltas, run every delta
   /// rule against its driving snapshot, flush the distributor.
-  void LocalIteration(WorkerContext* ctx) {
+  DCD_HOT_ROOT void LocalIteration(WorkerContext* ctx) {
     const int64_t start = MonotonicNanos();
     std::vector<std::vector<TupleBuf>> snapshots(ctx->replicas->size());
     uint64_t processed = 0;
@@ -605,7 +625,7 @@ class SccExecutor {
 
   /// Parks the worker at its local fixpoint until new input arrives or the
   /// global fixpoint is detected. Returns false when evaluation is over.
-  bool InactiveWait(WorkerContext* ctx) {
+  DCD_HOT_ROOT bool InactiveWait(WorkerContext* ctx) {
     IdleScope idle(this, ctx, TraceEventKind::kPark);
     while (true) {
       if (Aborted()) return false;
@@ -628,7 +648,7 @@ class SccExecutor {
 
   /// Algorithm 1: a barrier after every global iteration. Fast workers idle
   /// until the slowest arrives — the overhead DWS exists to remove.
-  void GlobalLoop(WorkerContext* ctx) {
+  DCD_HOT_ROOT void GlobalLoop(WorkerContext* ctx) {
     // A waiter at either barrier keeps draining its inbound buffers so
     // producers blocked on a full ring always make progress.
     const auto drain_idle = [this, ctx] { GatherAll(ctx); };
@@ -667,7 +687,7 @@ class SccExecutor {
 
   /// Stale-synchronous parallel: a worker may run at most `ssp_slack` local
   /// iterations ahead of the slowest active worker (paper §4.1 / [14]).
-  void SspLoop(WorkerContext* ctx) {
+  DCD_HOT_ROOT void SspLoop(WorkerContext* ctx) {
     while (!Aborted()) {
       DCD_CHAOS_POINT(kStrategyLoop);
       GatherAll(ctx);
@@ -710,7 +730,7 @@ class SccExecutor {
   /// Algorithm 2: the Dynamic Weight-based Strategy. After gathering, a
   /// worker with a small delta (0 < |δ| < ω) waits up to τ for more tuples
   /// before iterating; ω and τ come from the queueing model.
-  void DwsLoop(WorkerContext* ctx) {
+  DCD_HOT_ROOT void DwsLoop(WorkerContext* ctx) {
     while (!Aborted()) {
       DCD_CHAOS_POINT(kStrategyLoop);
       GatherAll(ctx);
@@ -737,6 +757,7 @@ class SccExecutor {
           // The τ-capped sleep IS DWS's coordination mechanism, not
           // incidental blocking — the strategy trades a bounded wait for a
           // bigger batch.
+          DCD_COLD_CALL("DWS τ-capped wait slice is the strategy itself, Algorithm 2 line 7");
           // dcd-lint: allow(hot-path-mutex): DWS bounded wait, Algorithm 2 line 7
           std::this_thread::sleep_for(std::chrono::microseconds(
               options_.dws_max_wait_slice_us));

@@ -1,5 +1,6 @@
 #include "runtime/batch_pipeline.h"
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "common/value.h"
 #include "runtime/expr_eval.h"
@@ -63,7 +64,7 @@ void BatchPipelineRunner::Begin(const PhysicalRule& rule,
   if (wire_batch_.size() < wire_words) wire_batch_.resize(wire_words);
 }
 
-void BatchPipelineRunner::Push(TupleRef driving) {
+DCD_HOT_ROOT void BatchPipelineRunner::Push(TupleRef driving) {
   Level& lv = level_[0];
   if (ApplyDrivingScanStrided(*rule_, driving, lv.regs.data(), kLanes,
                               lv.lanes)) {
@@ -71,7 +72,7 @@ void BatchPipelineRunner::Push(TupleRef driving) {
   }
 }
 
-void BatchPipelineRunner::Finish() { RunBatch(); }
+DCD_HOT_ROOT void BatchPipelineRunner::Finish() { RunBatch(); }
 
 void BatchPipelineRunner::RunUnit(const PhysicalRule& rule,
                                   const PipelineContext* ctx,
@@ -82,7 +83,7 @@ void BatchPipelineRunner::RunUnit(const PhysicalRule& rule,
   RunBatch();
 }
 
-void BatchPipelineRunner::RunBatch() {
+DCD_HOT_ROOT void BatchPipelineRunner::RunBatch() {
   Level& lv = level_[0];
   if (lv.lanes == 0) return;
   ++batches_;

@@ -42,15 +42,15 @@ bool Better(const AggSpec& spec, uint64_t candidate, uint64_t current) {
 }  // namespace
 
 Distributor::Distributor(const SccPlan* scc, uint32_t num_workers,
-                         uint32_t self_worker, bool partial_agg, SinkFn sink,
-                         SelfSinkFn self_sink)
+                         uint32_t self_worker, bool partial_agg,
+                         BlockSink sink, SelfLoopSink self_sink)
     : scc_(scc),
       num_workers_(num_workers),
       num_replicas_(static_cast<uint32_t>(scc->replicas.size())),
       self_worker_(self_worker),
       partial_agg_(partial_agg),
-      sink_(std::move(sink)),
-      self_sink_(std::move(self_sink)),
+      sink_(sink),
+      self_sink_(self_sink),
       per_pred_(scc->derived_preds.size()),
       staging_(static_cast<size_t>(num_workers) * scc->replicas.size()) {}
 
@@ -69,7 +69,7 @@ Distributor::PerPredicate& Distributor::StateFor(const HeadSpec& head) {
 }
 
 void Distributor::SendBlock(uint32_t dest, MsgBlock* block) {
-  sink_(dest, *block);
+  sink_.fn(sink_.ctx, dest, *block);
   ++blocks_sent_;
   block->count = 0;
 }
@@ -98,7 +98,7 @@ void Distributor::Route(const PerPredicate& pp, const uint64_t* wire) {
       // Self-loop bypass: the tuple never leaves this worker, so it skips
       // the rings and the produced/consumed accounting entirely.
       ++self_loop_tuples_;
-      self_sink_(static_cast<uint32_t>(rid), wire, arity);
+      self_sink_.fn(self_sink_.ctx, static_cast<uint32_t>(rid), wire, arity);
       continue;
     }
     MsgBlock& block = StagingFor(dest, static_cast<uint32_t>(rid));
@@ -136,13 +136,15 @@ void Distributor::EmitResolved(PerPredicate& pp, const AggSpec& spec,
   }
 }
 
-void Distributor::Emit(const HeadSpec& head, const uint64_t* wire) {
+DCD_HOT_ROOT void Distributor::Emit(const HeadSpec& head,
+                                    const uint64_t* wire) {
   DCD_AFFINITY_GUARD(owner_affinity_);
   EmitResolved(StateFor(head), head.agg, wire);
 }
 
-void Distributor::EmitBatch(const HeadSpec& head, const uint64_t* wires,
-                            uint32_t count, uint32_t wire_arity) {
+DCD_HOT_ROOT void Distributor::EmitBatch(const HeadSpec& head,
+                                         const uint64_t* wires,
+                                         uint32_t count, uint32_t wire_arity) {
   DCD_AFFINITY_GUARD(owner_affinity_);
   if (count == 0) return;
   PerPredicate& pp = StateFor(head);
@@ -152,7 +154,7 @@ void Distributor::EmitBatch(const HeadSpec& head, const uint64_t* wires,
   }
 }
 
-void Distributor::Flush() {
+DCD_HOT_ROOT void Distributor::Flush() {
   DCD_AFFINITY_GUARD(owner_affinity_);
   for (PerPredicate& pp : per_pred_) {
     if (pp.head == nullptr || pp.partial.empty()) continue;

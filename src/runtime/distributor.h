@@ -2,13 +2,13 @@
 #define DCDATALOG_RUNTIME_DISTRIBUTOR_H_
 
 #include <cstring>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/affinity.h"
 #include "common/chaos.h"
 #include "common/hash.h"
+#include "common/hot_path.h"
 #include "planner/physical_plan.h"
 #include "runtime/message.h"
 #include "storage/btree.h"
@@ -32,17 +32,33 @@ namespace dcdatalog {
 /// One instance per worker; not synchronized.
 class Distributor {
  public:
-  /// sink(dest_worker, block) enqueues one full or partial block; it must
-  /// handle backpressure itself.
-  using SinkFn = std::function<void(uint32_t, const MsgBlock&)>;
+  /// fn(ctx, dest_worker, block) enqueues one full or partial block; it
+  /// must handle backpressure itself. A plain {function pointer, context}
+  /// pair, same shape as EmitSink/BatchEmitSink in the pipeline: a
+  /// std::function here would put a type-erased indirect call (and a
+  /// potential capture allocation) on the per-block send path, which
+  /// dcd_deepcheck rejects. Every function installed as a sink must itself
+  /// be a registered hot root — the analyzer cannot see through the
+  /// pointer, so the sink body is verified from its own entry.
+  struct BlockSink {
+    using Fn = void (*)(void* ctx, uint32_t dest, const MsgBlock& block);
+    Fn fn = nullptr;
+    void* ctx = nullptr;
+  };
 
-  /// self_sink(replica_id, wire, arity) accepts one tuple whose partition
-  /// is the emitting worker itself (typically: append to the local gather
-  /// scratch so the next merge picks it up).
-  using SelfSinkFn = std::function<void(uint32_t, const uint64_t*, uint32_t)>;
+  /// fn(ctx, replica_id, wire, arity) accepts one tuple whose partition is
+  /// the emitting worker itself (typically: append to the local gather
+  /// scratch so the next merge picks it up). Same hot-path contract as
+  /// BlockSink, but per-tuple, so the discipline matters even more.
+  struct SelfLoopSink {
+    using Fn = void (*)(void* ctx, uint32_t replica, const uint64_t* wire,
+                        uint32_t arity);
+    Fn fn = nullptr;
+    void* ctx = nullptr;
+  };
 
   Distributor(const SccPlan* scc, uint32_t num_workers, uint32_t self_worker,
-              bool partial_agg, SinkFn sink, SelfSinkFn self_sink);
+              bool partial_agg, BlockSink sink, SelfLoopSink self_sink);
 
   /// Accepts one wire tuple derived for `head`. Min/max tuples are folded
   /// into the partial-aggregation buffer; everything else routes at once.
@@ -103,8 +119,8 @@ class Distributor {
   const uint32_t num_replicas_;
   const uint32_t self_worker_;
   const bool partial_agg_;
-  SinkFn sink_;
-  SelfSinkFn self_sink_;
+  BlockSink sink_;
+  SelfLoopSink self_sink_;
   /// Indexed by HeadSpec::pred_id (dense, assigned at plan time).
   std::vector<PerPredicate> per_pred_;
   /// Per-(destination, replica) staging blocks, dest-major.

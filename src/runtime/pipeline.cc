@@ -1,13 +1,15 @@
 #include "runtime/pipeline.h"
 
+#include "common/hot_path.h"
 #include "common/logging.h"
 #include "runtime/expr_eval.h"
 
 namespace dcdatalog {
 namespace {
 
-void ExecuteFrom(const PhysicalRule& rule, const PipelineContext& ctx,
-                 size_t step_idx, const EmitSink& emit) {
+DCD_HOT_ROOT void ExecuteFrom(const PhysicalRule& rule,
+                              const PipelineContext& ctx, size_t step_idx,
+                              const EmitSink& emit) {
   if (step_idx == rule.steps.size()) {
     emit(ctx.regs);
     return;
@@ -110,8 +112,10 @@ void PreparePipeline(const PhysicalRule& rule, PipelineContext* ctx) {
   }
 }
 
-void RunPipelineForTuple(const PhysicalRule& rule, const PipelineContext& ctx,
-                         TupleRef driving, const EmitSink& emit) {
+DCD_HOT_ROOT void RunPipelineForTuple(const PhysicalRule& rule,
+                                      const PipelineContext& ctx,
+                                      TupleRef driving,
+                                      const EmitSink& emit) {
   if (!ApplyDrivingScanStrided(rule, driving, ctx.regs, 1, 0)) return;
   ExecuteFrom(rule, ctx, 0, emit);
 }

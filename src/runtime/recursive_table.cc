@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "common/hot_path.h"
 #include "common/logging.h"
 
 namespace dcdatalog {
@@ -86,6 +87,7 @@ void RecursiveTable::InsertGroup(const U128& group, uint64_t row_id) {
     bool inserted = false;
     flat_group_.FindOrInsert(group, row_id, &inserted);
   } else {
+    DCD_COLD_CALL("B+-tree group index is the non-default ablation backend; flat is hot");
     group_index_.Insert(group, row_id);
   }
 }
@@ -158,6 +160,7 @@ bool RecursiveTable::MergeNone(const uint64_t* wire, uint64_t hash) {
     }
   }
   const uint64_t row_id = AppendRow(wire);
+  DCD_COLD_CALL("B+-tree dedup index is the non-default ablation backend; flat is hot");
   group_index_.Insert(U128{hash, row_id}, row_id);
   CacheFill(hash, row_id);
   PushDelta(row_id);
@@ -217,6 +220,7 @@ bool RecursiveTable::MergeCount(const uint64_t* wire) {
     if (!inserted) return false;  // Contributor already counted.
   } else {
     if (contrib_index_.FindFirst(contrib_key) != nullptr) return false;
+    DCD_COLD_CALL("B+-tree contributor index is the non-default ablation backend");
     contrib_index_.Insert(contrib_key, 1);
   }
 
@@ -259,6 +263,7 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
   } else {
     last = contrib_index_.FindFirst(contrib_key);
     first_contribution = last == nullptr;
+    DCD_COLD_CALL("B+-tree contributor index is the non-default ablation backend");
     if (first_contribution) contrib_index_.Insert(contrib_key, value);
   }
   if (first_contribution) {
@@ -301,7 +306,7 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
   return true;
 }
 
-bool RecursiveTable::MergeWire(const uint64_t* wire) {
+DCD_HOT_ROOT bool RecursiveTable::MergeWire(const uint64_t* wire) {
   DCD_AFFINITY_GUARD(writer_affinity_);
   ++merges_;
   switch (spec_.func) {
@@ -467,7 +472,7 @@ void RecursiveTable::MergeMinMaxBatchByScan(
   }
 }
 
-void RecursiveTable::MergeBatch(const std::vector<TupleBuf>& wires) {
+DCD_HOT_ROOT void RecursiveTable::MergeBatch(const std::vector<TupleBuf>& wires) {
   DCD_AFFINITY_GUARD(writer_affinity_);
   if (wires.empty()) return;
   if (spec_.func == AggFunc::kNone) {

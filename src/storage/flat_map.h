@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/hot_path.h"
 #include "storage/btree.h"  // U128
 
 namespace dcdatalog {
@@ -64,7 +65,9 @@ class FlatGroupMap {
   /// Returns a pointer to the value under `key`, inserting `value` first if
   /// the key is absent; `*inserted` reports which happened. Growth (if due)
   /// runs before the probe so the returned pointer survives the call.
-  uint64_t* FindOrInsert(const U128& key, uint64_t value, bool* inserted) {
+  DCD_HOT_ROOT uint64_t* FindOrInsert(const U128& key, uint64_t value,
+                                      bool* inserted) {
+    DCD_COLD_CALL("amortized growth: one rehash doubles capacity, O(1) per insert");
     if ((size_ + 1) * 5 >= slots_.size() * 3) Rehash(slots_.size() * 2);
     for (uint64_t s = Hash(key) & mask_;; s = (s + 1) & mask_) {
       Slot& slot = slots_[s];
@@ -95,7 +98,9 @@ class FlatGroupMap {
 
   static uint64_t Hash(const U128& key) { return HashCombine(key.hi, key.lo); }
 
-  void Rehash(uint64_t new_slots) {
+  // Out-of-line (DCD_COLD_FN) so the binary backstop sees growth as a
+  // distinct cold symbol rather than inlined into FindOrInsert.
+  DCD_COLD_FN void Rehash(uint64_t new_slots) {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_slots, Slot{});
     mask_ = new_slots - 1;

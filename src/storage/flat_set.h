@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "storage/relation.h"
 #include "storage/tuple.h"
 
@@ -57,7 +58,7 @@ class FlatTupleSet {
 
   /// Returns the row id of the stored tuple equal to `tuple`, or kNotFound.
   /// `hash` must be `tuple.Hash()` (or the caller's consistent choice).
-  uint64_t Find(uint64_t hash, TupleRef tuple) const {
+  DCD_HOT_ROOT uint64_t Find(uint64_t hash, TupleRef tuple) const {
     for (uint64_t s = hash & mask_;; s = (s + 1) & mask_) {
       const Slot& slot = slots_[s];
       if (slot.row == kEmptyRow) return kNotFound;
@@ -70,11 +71,12 @@ class FlatTupleSet {
 
   /// Inserts `row_id` under `hash`. The caller must have established via
   /// Find that no equal tuple is present (merge probes exactly once).
-  void Insert(uint64_t hash, uint64_t row_id) {
+  DCD_HOT_ROOT void Insert(uint64_t hash, uint64_t row_id) {
     uint64_t s = hash & mask_;
     while (slots_[s].row != kEmptyRow) s = (s + 1) & mask_;
     slots_[s] = Slot{hash, row_id};
     ++size_;
+    DCD_COLD_CALL("amortized growth: one rehash doubles capacity, O(1) per insert");
     if (size_ * 5 >= slots_.size() * 3) Rehash(slots_.size() * 2);
   }
 
@@ -118,7 +120,10 @@ class FlatTupleSet {
     uint64_t row = kEmptyRow;
   };
 
-  void Rehash(uint64_t new_slots) {
+  // Kept out-of-line (DCD_COLD_FN) so the binary-level backstop can verify
+  // the inlined bodies of Find/Insert contain no direct allocator call —
+  // growth stays behind this distinct cold symbol.
+  DCD_COLD_FN void Rehash(uint64_t new_slots) {
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(new_slots, Slot{});
     mask_ = new_slots - 1;

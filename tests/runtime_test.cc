@@ -436,28 +436,37 @@ class DistributorTest : public ::testing::Test {
     head_.agg = SpecFor(AggFunc::kMin, 3);
   }
 
-  /// Sink that unpacks every block into `sent_` and counts blocks.
-  Distributor::SinkFn Unpack() {
-    return [this](uint32_t dest, const MsgBlock& block) {
-      ++blocks_;
-      for (uint32_t t = 0; t < block.count; ++t) {
-        SunkTuple s;
-        s.dest = dest;
-        s.tag = block.tag;
-        s.words.assign(block.Tuple(t), block.Tuple(t) + block.arity);
-        sent_.push_back(std::move(s));
-      }
-    };
+  /// Sink that unpacks every block into `sent_` and counts blocks. The
+  /// production sinks are {function pointer, context} pairs, so the
+  /// fixture passes a static thunk over `this`.
+  Distributor::BlockSink Unpack() {
+    return Distributor::BlockSink{&DistributorTest::UnpackThunk, this};
   }
 
-  Distributor::SelfSinkFn SelfSink() {
-    return [this](uint32_t rid, const uint64_t* wire, uint32_t arity) {
+  static void UnpackThunk(void* ctx, uint32_t dest, const MsgBlock& block) {
+    auto* self = static_cast<DistributorTest*>(ctx);
+    ++self->blocks_;
+    for (uint32_t t = 0; t < block.count; ++t) {
       SunkTuple s;
-      s.dest = kSelf;
-      s.tag = rid;
-      s.words.assign(wire, wire + arity);
-      self_sent_.push_back(std::move(s));
-    };
+      s.dest = dest;
+      s.tag = block.tag;
+      s.words.assign(block.Tuple(t), block.Tuple(t) + block.arity);
+      self->sent_.push_back(std::move(s));
+    }
+  }
+
+  Distributor::SelfLoopSink SelfSink() {
+    return Distributor::SelfLoopSink{&DistributorTest::SelfSinkThunk, this};
+  }
+
+  static void SelfSinkThunk(void* ctx, uint32_t rid, const uint64_t* wire,
+                            uint32_t arity) {
+    auto* self = static_cast<DistributorTest*>(ctx);
+    SunkTuple s;
+    s.dest = kSelf;
+    s.tag = rid;
+    s.words.assign(wire, wire + arity);
+    self->self_sent_.push_back(std::move(s));
   }
 
   static constexpr uint32_t kSelf = 0xFFFF;

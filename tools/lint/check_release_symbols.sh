@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# Verifies the debug-only ownership checker compiles to nothing in release
-# builds: no ThreadAffinity symbol may survive in any object file of an
-# NDEBUG build. Run with the build directory as $1 (default: build).
+# Two binary-level release checks, run with the build directory as $1
+# (default: build):
+#
+#   1. The debug-only ownership checker compiles to nothing: no
+#      ThreadAffinity symbol may survive in any object file of an NDEBUG
+#      build.
+#   2. Hot-path purity survives inlining: tools/analyze/check_hot_symbols.py
+#      disassembles the dcd binary and verifies no hot function body makes
+#      a direct call to an allocator, lock, or sleep (the binary backstop
+#      behind tools/analyze/dcd_deepcheck.py's source-level proof).
 #
 #   tools/lint/check_release_symbols.sh build-release
 #
-# Exits 0 when clean, 1 when a symbol leaked, 2 on usage errors.
+# Exits 0 when clean, 1 when a check failed, 2 on usage errors. Both
+# checks self-skip with a notice when their tool (nm / objdump+python3)
+# is unavailable.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -46,3 +55,30 @@ if [ "$leaked" -ne 0 ]; then
   exit 1
 fi
 echo "check_release_symbols: OK ($checked objects, no ThreadAffinity symbols)"
+
+# --- Hot-path purity backstop over the linked binary -----------------------
+SCRIPT_DIR=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+HOT_CHECK="$SCRIPT_DIR/../analyze/check_hot_symbols.py"
+DCD_BIN="$BUILD_DIR/tools/dcd"
+if [ ! -x "$DCD_BIN" ]; then
+  echo "check_release_symbols: $DCD_BIN not built; skipping hot-symbol check" >&2
+  exit 0
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_release_symbols: python3 not found; skipping hot-symbol check" >&2
+  exit 0
+fi
+# Exit 2 from the checker means "environment can't run it" (no objdump) —
+# a skip, not a failure; exit 1 is a real purity violation.
+if python3 "$HOT_CHECK" "$DCD_BIN"; then
+  :
+else
+  status=$?
+  if [ "$status" -eq 2 ]; then
+    echo "check_release_symbols: hot-symbol check skipped (no objdump)" >&2
+    exit 0
+  fi
+  echo "check_release_symbols: FAILED — banned calls survive inlining in" \
+       "hot bodies (see above)" >&2
+  exit 1
+fi

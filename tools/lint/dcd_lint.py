@@ -18,6 +18,12 @@ analysis cannot express:
                     inside the per-iteration hot functions.
   tsa-suppression   DCD_NO_THREAD_SAFETY_ANALYSIS needs a justification
                     comment on the same or previous line.
+  hot-virtual       No unannotated calls to virtual-declared methods in the
+                    hot-path files: virtual dispatch defeats inlining and
+                    adds an indirect branch per tuple. The engine's step
+                    dispatch is switch/function-pointer based by design;
+                    a justified exception carries a dcd-lint allow or a
+                    DCD_COLD_CALL (src/common/hot_path.h) annotation.
 
 Layered tools (run when available, skipped with a notice otherwise —
 the container may carry only GCC):
@@ -153,6 +159,7 @@ ALL_RULES = (
     "chaos-allowlist",
     "hot-loop-alloc",
     "tsa-suppression",
+    "hot-virtual",
 )
 
 
@@ -446,6 +453,54 @@ def check_hot_loop_alloc(sf, findings, functions):
                     "(scratch vectors, staging blocks)")
 
 
+# --- Rule: hot-virtual -----------------------------------------------------
+
+# Method names declared `virtual` anywhere, or defined with override/final
+# (covers split declaration/definition). The name set is gathered over the
+# whole linted file set, then every member call to one of those names in a
+# hot-path file is flagged — same over-approximation by name the deepcheck
+# analyzer uses, sound for a guardrail (the engine currently declares no
+# virtuals at all; this rule keeps it that way on the hot paths).
+VIRTUAL_DECL_NAME_RE = re.compile(r"\bvirtual\b[^;{=()]*?\b(\w+)\s*\(")
+OVERRIDE_DECL_NAME_RE = re.compile(
+    r"\b(\w+)\s*\([^;{}()]*\)\s*(?:const\s*)?(?:noexcept\s*)?"
+    r"(?:override|final)\b")
+
+
+def gather_virtual_names(sources):
+    names = set()
+    for sf in sources:
+        names.update(VIRTUAL_DECL_NAME_RE.findall(sf.code))
+        names.update(OVERRIDE_DECL_NAME_RE.findall(sf.code))
+    names.discard("operator")
+    return names
+
+
+def check_hot_virtual(sf, findings, virtual_names):
+    if not virtual_names:
+        return
+    call_re = re.compile(
+        r"(?:\.|->)\s*(%s)\s*\(" % "|".join(
+            re.escape(n) for n in sorted(virtual_names)))
+    for i, line in enumerate(sf.code_lines, start=1):
+        m = call_re.search(line)
+        if m is None:
+            continue
+        # The deepcheck annotation vocabulary also counts as justification:
+        # DCD_COLD_CALL on the call's line or the line above.
+        context = sf.raw_lines[i - 1]
+        if i >= 2:
+            context += sf.raw_lines[i - 2]
+        if "DCD_COLD_CALL(" in context:
+            continue
+        sf.report(
+            findings, "hot-virtual", i,
+            f"call to virtual-declared method {m.group(1)}() on a hot path "
+            "— virtual dispatch costs an indirect branch per tuple and "
+            "defeats inlining; use the switch/function-pointer step "
+            "dispatch, or justify with DCD_COLD_CALL / a dcd-lint allow")
+
+
 # --- Rule: tsa-suppression -------------------------------------------------
 
 def check_tsa_suppression(sf, findings):
@@ -497,11 +552,15 @@ def discover_files(repo_root, build_dir):
 
 def run_python_rules(repo_root, rel_files, rules, explicit_files):
     findings = []
+    sources = []
     for rel in rel_files:
         path = os.path.join(repo_root, rel)
-        if not os.path.exists(path):
-            continue
-        sf = SourceFile(path, rel)
+        if os.path.exists(path):
+            sources.append(SourceFile(path, rel))
+    virtual_names = (gather_virtual_names(sources)
+                     if "hot-virtual" in rules else set())
+    for sf in sources:
+        rel = sf.rel
         in_mem_scope = rel.startswith(MEMORY_ORDER_DIRS) or explicit_files
         in_hot_scope = rel in HOT_PATH_FILES or explicit_files
         if "memory-order" in rules and in_mem_scope:
@@ -523,6 +582,8 @@ def run_python_rules(repo_root, rel_files, rules, explicit_files):
                 check_hot_loop_alloc(sf, findings, functions)
         if "tsa-suppression" in rules:
             check_tsa_suppression(sf, findings)
+        if "hot-virtual" in rules and in_hot_scope:
+            check_hot_virtual(sf, findings, virtual_names)
     return findings
 
 
@@ -653,6 +714,20 @@ SELFTEST_CASES = {
         "#define DCD_NO_THREAD_SAFETY_ANALYSIS\n"
         "// justified: init-order bootstrap, lock not constructed yet here\n"
         "void f() DCD_NO_THREAD_SAFETY_ANALYSIS;\n"),
+    "hot-virtual": (
+        "struct Step { virtual void Apply() = 0; };\n"
+        "void hot(Step* s) { s->Apply(); }\n",
+        "struct Step { void Apply(); };\n"
+        "void hot(Step* s) { s->Apply(); }\n"),
+    "hot-virtual-coldcall": (
+        "struct Step { virtual void Apply() = 0; };\n"
+        "void hot(Step* s) { s->Apply(); }\n",
+        "#include \"common/hot_path.h\"\n"
+        "struct Step { virtual void Apply() = 0; };\n"
+        "void setup(Step* s) {\n"
+        "  DCD_COLD_CALL(\"dispatch bound once per rule at setup time\");\n"
+        "  s->Apply();\n"
+        "}\n"),
 }
 
 
@@ -660,7 +735,11 @@ def run_selftest():
     """Seeds one violation per rule in a scratch tree and asserts the lint
     exits non-zero on it and zero on the corrected twin."""
     failures = []
-    rule_of = lambda case: case.rsplit("-operator", 1)[0]
+    # Case names are "<rule>" or "<rule>-<variant>"; pick the longest rule
+    # that prefixes the case name.
+    rule_of = lambda case: next(
+        r for r in sorted(ALL_RULES, key=len, reverse=True)
+        if case == r or case.startswith(r + "-"))
     with tempfile.TemporaryDirectory(prefix="dcd_lint_selftest.") as tmp:
         for case, (bad, good) in SELFTEST_CASES.items():
             rule = rule_of(case)
