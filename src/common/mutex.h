@@ -1,6 +1,7 @@
 #ifndef DCDATALOG_COMMON_MUTEX_H_
 #define DCDATALOG_COMMON_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -27,6 +28,11 @@ class DCD_CAPABILITY("mutex") Mutex {
   void Lock() DCD_ACQUIRE() { mu_.lock(); }
   void Unlock() DCD_RELEASE() { mu_.unlock(); }
 
+  // BasicLockable spelling so CondVar (condition_variable_any) can release
+  // and reacquire this capability during a wait. Not for direct use.
+  void lock() DCD_ACQUIRE() { mu_.lock(); }
+  void unlock() DCD_RELEASE() { mu_.unlock(); }
+
  private:
   std::mutex mu_;
 };
@@ -43,6 +49,25 @@ class DCD_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Cold-path only, like Mutex itself:
+/// the serving layer's scheduler waits here, never an evaluation worker's
+/// per-iteration loop. Wait() takes the Mutex so the DCD_REQUIRES contract
+/// mirrors how std::condition_variable_any releases and reacquires it.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) DCD_REQUIRES(mu) { cv_.wait(*mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace dcdatalog

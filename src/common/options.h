@@ -6,6 +6,8 @@
 
 namespace dcdatalog {
 
+class WorkerPool;
+
 /// Which parallel coordination strategy the evaluation loop runs (paper §4).
 enum class CoordinationMode : uint8_t {
   kGlobal = 0,  // Algorithm 1: barrier after every global iteration.
@@ -104,6 +106,14 @@ struct EngineOptions {
   /// counts the loss), so a long run keeps its most recent window instead
   /// of growing without bound.
   uint32_t trace_ring_capacity = 1 << 14;
+
+  /// Shared resident thread pool to schedule evaluation gangs on (not
+  /// owned; nullptr = spawn dedicated threads per run, the one-shot
+  /// `dcd run` behavior). The serving path points every session's engine
+  /// at one pool so concurrent queries share the machine's cores instead
+  /// of oversubscribing them. The engine's worker-count contract is
+  /// unchanged — all num_workers gang members run concurrently either way.
+  WorkerPool* worker_pool = nullptr;
 
   /// Validated copy with num_workers resolved to a concrete count.
   EngineOptions Resolved() const;

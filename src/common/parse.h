@@ -15,10 +15,14 @@ namespace dcdatalog {
 
 /// Parses a base-10 signed integer, requiring the whole string to be
 /// consumed and `min <= value <= max`. Returns false (leaving *out
-/// untouched) on any violation, including overflow.
+/// untouched) on any violation, including overflow. strtoll itself skips
+/// leading whitespace and accepts an explicit '+' sign; both violate the
+/// full-consumption contract (" 5" and "+5" are not the canonical spelling
+/// a flag value round-trips through), so they are rejected up front.
 inline bool ParseInt64Checked(const char* s, int64_t min, int64_t max,
                               int64_t* out) {
   if (s == nullptr || *s == '\0') return false;
+  if (!(*s == '-' || (*s >= '0' && *s <= '9'))) return false;
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(s, &end, 10);
@@ -28,11 +32,12 @@ inline bool ParseInt64Checked(const char* s, int64_t min, int64_t max,
   return true;
 }
 
-/// Unsigned variant. Parses through the signed path so "-1" is rejected
-/// rather than wrapped (strtoull would happily negate it).
+/// Unsigned variant. The first character must be a digit: this rejects
+/// leading whitespace and '+' (which strtoull skips) and '-' (which
+/// strtoull would happily wrap to a huge positive value).
 inline bool ParseUint64Checked(const char* s, uint64_t min, uint64_t max,
                                uint64_t* out) {
-  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  if (s == nullptr || !(*s >= '0' && *s <= '9')) return false;
   errno = 0;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(s, &end, 10);

@@ -26,6 +26,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "scc_end";
     case TraceEventKind::kDwsDecision:
       return "dws_decision";
+    case TraceEventKind::kAdmission:
+      return "admission";
   }
   return "unknown";
 }
@@ -43,6 +45,7 @@ bool TraceEventIsSpan(TraceEventKind kind) {
     case TraceEventKind::kSccBegin:
     case TraceEventKind::kSccEnd:
     case TraceEventKind::kDwsDecision:
+    case TraceEventKind::kAdmission:
       return false;
   }
   return false;

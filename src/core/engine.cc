@@ -110,7 +110,13 @@ class SccExecutor {
   }
 
   Status Run(EvalStats* stats) {
-    RunWorkers(n_, [this](uint32_t wid) { WorkerMain(wid); });
+    // Serving mode: the gang runs on the shared resident pool so concurrent
+    // sessions time-share the cores; one-shot runs spawn dedicated threads.
+    if (options_.worker_pool != nullptr) {
+      options_.worker_pool->Run(n_, [this](uint32_t wid) { WorkerMain(wid); });
+    } else {
+      RunWorkers(n_, [this](uint32_t wid) { WorkerMain(wid); });
+    }
     // Relaxed: RunWorkers joined every worker, which already orders their
     // writes before this read.
     if (aborted_.load(std::memory_order_relaxed)) {
@@ -917,6 +923,12 @@ std::string EvalStats::ToString() const {
 }
 
 Result<EvalStats> Engine::Run(const Program& program) {
+  // A from-scratch run makes any retained incremental state (replicas,
+  // base indexes, watermarks) stale: the run replaces catalog relations the
+  // watermarks and indexes describe. Tear the session down deterministically
+  // up front — the alternative is stale-but-reachable state that a later
+  // ApplyUpdates would happily read.
+  inc_.reset();
   DCD_ASSIGN_OR_RETURN(ProgramAnalysis analysis,
                        ProgramAnalysis::Analyze(program, *catalog_));
   DCD_ASSIGN_OR_RETURN(std::vector<LogicalRulePlan> logical,
@@ -927,6 +939,7 @@ Result<EvalStats> Engine::Run(const Program& program) {
 }
 
 Result<EvalStats> Engine::RunPlan(const PhysicalPlan& plan) {
+  inc_.reset();  // Same invalidation contract as Run().
   WallTimer timer;
   EvalStats stats;
   BaseIndexSet base_indexes(plan.base_indexes);

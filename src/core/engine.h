@@ -105,9 +105,14 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Parses nothing — takes an analyzed program, plans and runs it.
+  /// Calling this while an incremental session is live tears the session
+  /// down first (deterministically, before any planning): the run replaces
+  /// the catalog relations the retained replicas/watermarks describe, so
+  /// the session could never be resumed correctly afterwards.
   Result<EvalStats> Run(const Program& program);
 
-  /// Runs an already-built physical plan.
+  /// Runs an already-built physical plan. Same incremental-session
+  /// invalidation contract as Run().
   Result<EvalStats> RunPlan(const PhysicalPlan& plan);
 
   /// Starts an incremental session: plans `program` with per-rule update

@@ -93,7 +93,8 @@ void WriteChromeTrace(const EvalStats& stats, std::ostream& os) {
       os << ", \"ph\": \"i\", \"s\": \"t\"";
     }
     os << ", \"args\": {\"scc\": " << ev.scc << ", \"tuples\": " << ev.tuples;
-    if (ev.kind == TraceEventKind::kDwsDecision) {
+    if (ev.kind == TraceEventKind::kDwsDecision ||
+        ev.kind == TraceEventKind::kAdmission) {
       os << ", \"proceed\": " << (ev.proceed ? "true" : "false")
          << ", \"omega\": ";
       JsonNumber(os, ev.omega);

@@ -1,0 +1,97 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace dcdatalog {
+
+AdmissionController::AdmissionController(uint32_t worker_budget,
+                                         uint32_t trace_capacity)
+    : worker_budget_(std::max<uint32_t>(worker_budget, 1)),
+      ring_(trace_capacity) {}
+
+AdmissionDecision AdmissionController::OnArrival(uint32_t workers) {
+  const int64_t now = MonotonicNanos();
+  MutexLock lock(&mu_);
+  if (last_arrival_ns_ != 0 && now > last_arrival_ns_) {
+    const double interarrival_s =
+        static_cast<double>(now - last_arrival_ns_) * 1e-9;
+    const double rate = 1.0 / interarrival_s;
+    lambda_ = lambda_ == 0.0 ? rate
+                             : kEwmaAlpha * rate + (1.0 - kEwmaAlpha) * lambda_;
+  }
+  last_arrival_ns_ = now;
+
+  AdmissionDecision d;
+  d.admitted = in_flight_workers_ + workers <= worker_budget_;
+  in_flight_workers_ += workers;
+  d.rho = static_cast<double>(in_flight_workers_) /
+          static_cast<double>(worker_budget_);
+  d.lambda = lambda_;
+  d.mu = mu_rate_;
+  if (d.admitted) {
+    ++admitted_;
+  } else {
+    ++queued_;
+  }
+
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kAdmission;
+  ev.proceed = d.admitted;
+  ev.worker = workers;  // Gang width, in the per-worker slot.
+  ev.start_ns = now;
+  ev.end_ns = now;
+  ev.rho = d.rho;
+  ev.lambda = d.lambda;
+  ev.mu = d.mu;
+  ring_.Append(ev);
+  return d;
+}
+
+void AdmissionController::OnComplete(uint32_t workers,
+                                     double service_seconds) {
+  MutexLock lock(&mu_);
+  in_flight_workers_ -= std::min(in_flight_workers_, workers);
+  if (service_seconds > 0.0) {
+    const double rate = 1.0 / service_seconds;
+    mu_rate_ = mu_rate_ == 0.0
+                   ? rate
+                   : kEwmaAlpha * rate + (1.0 - kEwmaAlpha) * mu_rate_;
+  }
+}
+
+std::vector<TraceEvent> AdmissionController::TraceSnapshot() const {
+  std::vector<TraceEvent> out;
+  MutexLock lock(&mu_);
+  ring_.Snapshot(&out);
+  return out;
+}
+
+uint64_t AdmissionController::admitted_count() const {
+  MutexLock lock(&mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::queued_count() const {
+  MutexLock lock(&mu_);
+  return queued_;
+}
+
+double AdmissionController::lambda() const {
+  MutexLock lock(&mu_);
+  return lambda_;
+}
+
+double AdmissionController::mu_rate() const {
+  MutexLock lock(&mu_);
+  return mu_rate_;
+}
+
+double AdmissionController::rho() const {
+  MutexLock lock(&mu_);
+  return static_cast<double>(in_flight_workers_) /
+         static_cast<double>(worker_budget_);
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,77 @@
+#ifndef DCDATALOG_SERVER_ADMISSION_H_
+#define DCDATALOG_SERVER_ADMISSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/trace.h"
+
+namespace dcdatalog {
+
+/// What the controller decided for one arriving session.
+struct AdmissionDecision {
+  /// true: a gang of the requested width fits the worker budget right now.
+  /// false: the session is queued — it still runs (the WorkerPool's FIFO
+  /// gang grant is the queue), the decision just records that it had to
+  /// wait and why.
+  bool admitted = false;
+  double rho = 0.0;     // Worker-budget utilization including this gang.
+  double lambda = 0.0;  // Session arrival rate, 1/s (EWMA).
+  double mu = 0.0;      // Session service rate, 1/s (EWMA).
+};
+
+/// Admission control for the resident server, driven by the same
+/// queueing-model statistics the DWS coordination strategy maintains
+/// per-worker (paper §4.2): arrival rate λ, service rate μ, and utilization
+/// ρ of the shared worker budget. Every decision is recorded as a
+/// TraceEventKind::kAdmission event carrying ρ/λ/μ, so the server's
+/// admission behaviour is observable in the same decision trace (and with
+/// the same exporter) as the engine's DWS decisions.
+///
+/// All methods are cold-path and internally synchronized.
+class AdmissionController {
+ public:
+  /// `worker_budget` is the shared pool's capacity; `trace_capacity` sizes
+  /// the decision ring (0 disables recording).
+  AdmissionController(uint32_t worker_budget, uint32_t trace_capacity);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Records a session arrival requesting a gang of `workers` threads and
+  /// decides admit-now vs queue. Call before dispatching to the pool.
+  AdmissionDecision OnArrival(uint32_t workers) DCD_EXCLUDES(mu_);
+
+  /// Records a session completion: releases its `workers` from the
+  /// in-flight account and folds `service_seconds` into μ.
+  void OnComplete(uint32_t workers, double service_seconds)
+      DCD_EXCLUDES(mu_);
+
+  /// Snapshot of the decision ring, oldest first.
+  std::vector<TraceEvent> TraceSnapshot() const DCD_EXCLUDES(mu_);
+
+  uint64_t admitted_count() const DCD_EXCLUDES(mu_);
+  uint64_t queued_count() const DCD_EXCLUDES(mu_);
+  double lambda() const DCD_EXCLUDES(mu_);
+  double mu_rate() const DCD_EXCLUDES(mu_);
+  double rho() const DCD_EXCLUDES(mu_);
+
+ private:
+  static constexpr double kEwmaAlpha = 0.2;
+
+  const uint32_t worker_budget_;
+  mutable Mutex mu_;
+  TraceRing ring_ DCD_GUARDED_BY(mu_);
+  uint32_t in_flight_workers_ DCD_GUARDED_BY(mu_) = 0;
+  int64_t last_arrival_ns_ DCD_GUARDED_BY(mu_) = 0;
+  double lambda_ DCD_GUARDED_BY(mu_) = 0.0;
+  double mu_rate_ DCD_GUARDED_BY(mu_) = 0.0;
+  uint64_t admitted_ DCD_GUARDED_BY(mu_) = 0;
+  uint64_t queued_ DCD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_SERVER_ADMISSION_H_

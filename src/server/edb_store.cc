@@ -1,0 +1,62 @@
+#include "server/edb_store.h"
+
+#include <memory>
+#include <utility>
+
+namespace dcdatalog {
+
+void EdbStore::PutRelation(Relation relation) {
+  base_.Put(std::move(relation));
+}
+
+uint64_t EdbStore::SnapshotInto(Catalog* catalog) const {
+  // Atomic against ApplyBatch: the reported version and the pinned entries
+  // must correspond exactly, or a session could not be validated against
+  // an oracle rebuild of its version.
+  MutexLock lock(&apply_mu_);
+  const uint64_t ver = version_.load(std::memory_order_acquire);
+  for (auto& [name, rel] : base_.Entries()) {
+    // The session catalog holds the same immutable Relation objects; the
+    // const_pointer_cast does not unlock mutation — nothing downstream
+    // writes base relations (sessions run non-incremental evaluations, and
+    // the store itself only ever replaces, never edits, shared entries).
+    catalog->PutShared(std::const_pointer_cast<Relation>(rel));
+  }
+  return ver;
+}
+
+Result<EdbStore::ApplyResult> EdbStore::ApplyBatch(const UpdateBatch& batch) {
+  MutexLock lock(&apply_mu_);
+  DCD_ASSIGN_OR_RETURN(ResolvedUpdateBatch resolved,
+                       ResolveUpdateBatch(batch, base_, &dict_));
+  DCD_ASSIGN_OR_RETURN(std::vector<RelationDelta> deltas,
+                       NetOutBatch(resolved, base_));
+
+  // Copy-on-write: clone every touched relation into a scratch catalog,
+  // apply the deltas there (identical semantics to the incremental engine
+  // and the oracle, which use the same helper), then publish the clones.
+  // Sessions holding the old shared_ptrs keep their frozen rows.
+  Catalog scratch;
+  for (const RelationDelta& delta : deltas) {
+    std::shared_ptr<const Relation> old = base_.FindShared(delta.relation);
+    if (old == nullptr) {
+      return Status::NotFound("update for unknown relation: " +
+                              delta.relation);
+    }
+    scratch.Put(*old);
+  }
+  DCD_RETURN_IF_ERROR(ApplyDeltasToCatalog(deltas, &scratch));
+
+  ApplyResult out;
+  for (const RelationDelta& delta : deltas) {
+    base_.PutShared(
+        std::make_shared<Relation>(std::move(*scratch.Find(delta.relation))));
+    ++out.relations_touched;
+    out.rows_added += delta.added.size();
+    out.rows_removed += delta.removed.size();
+  }
+  out.version = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return out;
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,238 @@
+#include "server/http.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+namespace dcdatalog {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 64u << 20;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the header terminator plus Content-Length body bytes.
+/// Returns false on socket error, oversize, or malformed framing.
+bool ReadRequest(int fd, std::string* raw, size_t* header_end) {
+  char buf[4096];
+  *header_end = std::string::npos;
+  size_t body_expected = std::string::npos;
+  while (true) {
+    if (*header_end != std::string::npos) {
+      const size_t have = raw->size() - (*header_end + 4);
+      if (body_expected == std::string::npos || have >= body_expected) {
+        return true;
+      }
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return *header_end != std::string::npos;
+    raw->append(buf, static_cast<size_t>(n));
+    if (raw->size() > kMaxRequestBytes) return false;
+    if (*header_end == std::string::npos) {
+      *header_end = raw->find("\r\n\r\n");
+      if (*header_end != std::string::npos) {
+        // Case-insensitive-enough Content-Length scan: clients here are
+        // curl, python, and our own tests, all of which send the canonical
+        // spelling (curl lowercases in HTTP/2 only).
+        size_t pos = raw->find("Content-Length:");
+        if (pos == std::string::npos) pos = raw->find("content-length:");
+        if (pos != std::string::npos && pos < *header_end) {
+          body_expected = static_cast<size_t>(
+              std::strtoull(raw->c_str() + pos + 15, nullptr, 10));
+          if (body_expected > kMaxRequestBytes) return false;
+        } else {
+          body_expected = 0;
+        }
+      }
+    }
+  }
+}
+
+bool ParseRequest(const std::string& raw, size_t header_end,
+                  HttpRequest* req) {
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || line_end > header_end) return false;
+  const std::string line = raw.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  req->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    req->path = std::move(target);
+  } else {
+    req->path = target.substr(0, qmark);
+    req->query = target.substr(qmark + 1);
+  }
+  req->body = raw.substr(header_end + 4);
+  return !req->method.empty() && !req->path.empty();
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(const std::string& key) const {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port, Handler handler) {
+  handler_ = std::move(handler);
+  // A peer closing mid-response must not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::RuntimeError("socket() failed: " +
+                                std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::RuntimeError(
+        "bind() failed: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st = Status::RuntimeError(
+        "listen() failed: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) return;  // Stop() already retired the listener.
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Listener closed by Stop() (or a hard error): leave the loop either
+      // way — an accept loop spinning on a dead socket helps nobody.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    MutexLock lock(&conn_mu_);
+    connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string raw;
+  size_t header_end = 0;
+  HttpRequest req;
+  HttpResponse resp;
+  if (!ReadRequest(fd, &raw, &header_end) ||
+      !ParseRequest(raw, header_end, &req)) {
+    resp.status = 400;
+    resp.body = "{\"error\": \"malformed request\"}\n";
+  } else {
+    try {
+      resp = handler_(req);
+    } catch (const std::exception& e) {
+      resp = HttpResponse();
+      resp.status = 500;
+      resp.body = std::string("{\"error\": \"") + e.what() + "\"}\n";
+    }
+  }
+  std::string head = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                     StatusText(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head.data(), head.size()) &&
+      SendAll(fd, resp.body.data(), resp.body.size());
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void HttpServer::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  // Retire the listener exactly once (exchange keeps Stop idempotent and
+  // race-free against itself). Closing it unblocks accept(); shutdown
+  // first for the platforms where close alone does not wake a blocked
+  // accept. AcceptLoop may still pass the retired descriptor to accept()
+  // — that returns EBADF, which it treats as "leave the loop".
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> conns;
+  {
+    MutexLock lock(&conn_mu_);
+    conns.swap(connections_);
+  }
+  for (auto& t : conns) t.join();
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,85 @@
+#ifndef DCDATALOG_SERVER_HTTP_H_
+#define DCDATALOG_SERVER_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace dcdatalog {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/query" (no query string).
+  std::string query;   // "workers=4&dump=tc" (no leading '?').
+  std::string body;
+
+  /// Value of `key` in the query string ("" when absent; no %-decoding —
+  /// the server's parameter vocabulary never needs it).
+  std::string QueryParam(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Minimal HTTP/1.1 server over POSIX sockets — no external dependencies,
+/// which is the point: the container bakes in only the C++ toolchain. One
+/// accept-loop thread; one thread per connection, so a long-running query
+/// on one connection never blocks a health probe on another (the resident
+/// server's whole reason to exist). Connection: close semantics — every
+/// request gets its own connection, which keeps parsing trivial and is
+/// plenty for a control plane that moves kilobytes.
+///
+/// Not exposed to hostile input by design (binds 127.0.0.1): requests over
+/// 64 MiB or without a terminated header block are dropped, but this is a
+/// lab-grade front end, not an internet-facing one.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, read the result from port())
+  /// and starts accepting. The handler runs on connection threads and must
+  /// be internally synchronized.
+  Status Start(uint16_t port, Handler handler);
+
+  /// The bound port (after Start succeeded).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins every connection
+  /// thread. Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  /// -1 when not listening. Atomic because Stop() retires it (exchange to
+  /// -1, then close) while AcceptLoop reads it for accept() — the close is
+  /// what unblocks that accept, so the handoff itself races by design.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  Mutex conn_mu_;
+  std::vector<std::thread> connections_ DCD_GUARDED_BY(conn_mu_);
+};
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_SERVER_HTTP_H_

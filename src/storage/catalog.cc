@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
+
 namespace dcdatalog {
 
 Result<Relation*> Catalog::Create(const std::string& name, Schema schema) {
@@ -7,7 +9,7 @@ Result<Relation*> Catalog::Create(const std::string& name, Schema schema) {
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation already exists: " + name);
   }
-  auto rel = std::make_unique<Relation>(name, std::move(schema));
+  auto rel = std::make_shared<Relation>(name, std::move(schema));
   Relation* ptr = rel.get();
   relations_.emplace(name, std::move(rel));
   return ptr;
@@ -15,11 +17,17 @@ Result<Relation*> Catalog::Create(const std::string& name, Schema schema) {
 
 Relation* Catalog::Put(Relation relation) {
   std::string name = relation.name();
-  auto rel = std::make_unique<Relation>(std::move(relation));
+  auto rel = std::make_shared<Relation>(std::move(relation));
   Relation* ptr = rel.get();
   MutexLock lock(&mu_);
   relations_[name] = std::move(rel);
   return ptr;
+}
+
+void Catalog::PutShared(std::shared_ptr<Relation> relation) {
+  std::string name = relation->name();
+  MutexLock lock(&mu_);
+  relations_[name] = std::move(relation);
 }
 
 Relation* Catalog::Find(const std::string& name) {
@@ -34,12 +42,32 @@ const Relation* Catalog::Find(const std::string& name) const {
   return it == relations_.end() ? nullptr : it->second.get();
 }
 
+std::shared_ptr<const Relation> Catalog::FindShared(
+    const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second;
+}
+
 std::vector<std::string> Catalog::Names() const {
   MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, rel] : relations_) names.push_back(name);
   return names;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const Relation>>>
+Catalog::Entries() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const Relation>>> out;
+  {
+    MutexLock lock(&mu_);
+    out.reserve(relations_.size());
+    for (const auto& [name, rel] : relations_) out.emplace_back(name, rel);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace dcdatalog

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -24,6 +25,15 @@ namespace dcdatalog {
 /// are frozen before any evaluation reads them. Hot paths never take the
 /// registry lock: pipelines resolve their scan relations once per rule
 /// (PreparePipeline), not per tuple.
+///
+/// Ownership: entries are std::shared_ptr so a reader can pin a relation
+/// across a concurrent Put that replaces the registry entry (the serving
+/// path: an --updates stream publishes copy-on-write replacements while
+/// query sessions keep reading the version they snapshotted). Find()
+/// returns a raw pointer for the single-session callers whose catalog
+/// nobody else mutates; any reader that can race a replacing Put must hold
+/// the relation via FindShared()/Entries() instead — the raw pointer
+/// dangles the moment the last shared_ptr to the old version drops.
 class Catalog {
  public:
   Catalog() = default;
@@ -38,9 +48,21 @@ class Catalog {
   /// Registers a fully built relation, replacing any previous one.
   Relation* Put(Relation relation) DCD_EXCLUDES(mu_);
 
+  /// Registers a shared relation (no copy), replacing any previous entry.
+  /// The caller may keep its reference; the catalog never mutates shared
+  /// entries in place — replacement is the only write, so every holder of
+  /// the old shared_ptr keeps a stable immutable snapshot.
+  void PutShared(std::shared_ptr<Relation> relation) DCD_EXCLUDES(mu_);
+
   /// nullptr when absent.
   Relation* Find(const std::string& name) DCD_EXCLUDES(mu_);
   const Relation* Find(const std::string& name) const DCD_EXCLUDES(mu_);
+
+  /// Owning lookup: the returned reference stays valid (and its rows
+  /// immutable under the copy-on-write discipline) even if another thread
+  /// replaces this entry afterwards. Empty when absent.
+  std::shared_ptr<const Relation> FindShared(const std::string& name) const
+      DCD_EXCLUDES(mu_);
 
   bool Contains(const std::string& name) const {
     return Find(name) != nullptr;
@@ -48,9 +70,15 @@ class Catalog {
 
   std::vector<std::string> Names() const DCD_EXCLUDES(mu_);
 
+  /// Atomic snapshot of the whole registry: every entry pinned at its
+  /// current version, sorted by name. The basis for shared immutable EDB
+  /// snapshots across concurrent query sessions.
+  std::vector<std::pair<std::string, std::shared_ptr<const Relation>>>
+  Entries() const DCD_EXCLUDES(mu_);
+
  private:
   mutable Mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Relation>> relations_
+  std::unordered_map<std::string, std::shared_ptr<Relation>> relations_
       DCD_GUARDED_BY(mu_);
 };
 

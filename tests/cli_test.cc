@@ -117,7 +117,11 @@ TEST(CliTest, RejectsMalformedNumericFlags) {
   for (const char* flags :
        {"--workers abc", "--workers 2x", "--workers 0", "--workers -3",
         "--workers 999999", "--slack abc", "--slack 0", "--seed 12junk",
-        "--weights -1"}) {
+        "--weights -1",
+        // strtol leniencies the checked parsers must not inherit: leading
+        // whitespace, explicit '+', trailing whitespace.
+        "--workers=\" 5\"", "--workers=+5", "--workers=\"5 \"",
+        "--seed=+1", "--weights=\" 2\""}) {
     CmdResult r = RunCli("run " + program + " " + flags);
     EXPECT_NE(r.exit_code, 0) << flags << ": " << r.output;
     EXPECT_NE(r.output.find("expects"), std::string::npos)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/dcdatalog.h"
+#include "datalog/parser.h"
 #include "graph/generators.h"
 #include "storage/updates.h"
 #include "tests/test_util.h"
@@ -231,6 +232,72 @@ TEST(IncrementalTest, ApplyUpdatesRequiresBeginIncremental) {
   // Loading a new program drops the session.
   ASSERT_TRUE(db.LoadProgramText(kTc).ok());
   EXPECT_FALSE(db.incremental_active());
+}
+
+TEST(IncrementalTest, RunAfterBeginIncrementalTearsDownSession) {
+  // Engine-level contract: Run()/RunPlan() on an engine with a live
+  // incremental session must tear the session down deterministically — the
+  // run replaces the catalog relations the retained replicas and
+  // watermarks describe, so resuming the old session would read stale
+  // state. The bug this pins: inc_ surviving Run() and a later
+  // ApplyUpdates re-driving from watermarks that no longer match the
+  // catalog.
+  Catalog catalog;
+  StringDict dict;
+  Graph g;
+  for (uint64_t i = 0; i < 8; ++i) g.AddEdge(i, i + 1);
+  catalog.Put(g.ToArcRelation("arc"));
+  auto program = ParseProgram(kTc, &dict);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  Engine engine(&catalog, Opts().Resolved());
+  ASSERT_TRUE(engine.BeginIncremental(program.value()).ok());
+  ASSERT_TRUE(engine.incremental_active());
+  const auto before = RowSet(*catalog.Find("tc"));
+
+  // A from-scratch Run over the same program: results identical, session
+  // gone.
+  auto rerun = engine.Run(program.value());
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_FALSE(engine.incremental_active());
+  EXPECT_EQ(RowSet(*catalog.Find("tc")), before);
+
+  // Updates after the invalidation are rejected, not silently misapplied.
+  UpdateBatch batch = Batch("+ arc 8 9\n");
+  auto resolved = ResolveUpdateBatch(batch, catalog, &dict);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_FALSE(engine.ApplyUpdates(resolved.value()).ok());
+
+  // The engine is not wedged: a fresh session over the post-run catalog
+  // works and maintains correctly.
+  ASSERT_TRUE(engine.BeginIncremental(program.value()).ok());
+  auto inc = engine.ApplyUpdates(resolved.value());
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_TRUE(RowSet(*catalog.Find("tc")).count({0, 9}) > 0);
+}
+
+TEST(IncrementalTest, ReRunAfterUpdatesMatchesOracle) {
+  // DCDatalog-level: BeginIncremental → ApplyUpdates → Run() from scratch.
+  // The re-run must see the post-update EDB and agree with an independent
+  // oracle, and the dropped session must not leak into the re-run's
+  // results.
+  DCDatalog db(Opts());
+  Graph g;
+  for (uint64_t i = 0; i < 12; ++i) g.AddEdge(i, (i * 5 + 1) % 12);
+  db.AddGraph(g, "arc");
+  ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+  ASSERT_TRUE(db.BeginIncremental().ok());
+  ASSERT_TRUE(db.ApplyUpdates(Batch("+ arc 3 7\n- arc 0 1\n")).ok());
+
+  auto rerun = db.Run();
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  EXPECT_FALSE(db.incremental_active());
+  ExpectMatchesOracle(db, kTc, {"arc"}, {"tc"});
+
+  // And the instance can open another session afterwards.
+  ASSERT_TRUE(db.BeginIncremental().ok());
+  ASSERT_TRUE(db.ApplyUpdates(Batch("+ arc 7 0\n")).ok());
+  ExpectMatchesOracle(db, kTc, {"arc"}, {"tc"});
 }
 
 }  // namespace

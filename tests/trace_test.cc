@@ -179,6 +179,31 @@ TEST(ParseCheckedTest, RejectsWhatAtoiAccepts) {
   EXPECT_EQ(u, 7u);
 }
 
+TEST(ParseCheckedTest, RejectsStrtolLeniencies) {
+  // strtoll itself skips leading whitespace and accepts an explicit '+';
+  // a flag value is a typed-out number, so both must fail like any other
+  // malformed token (and trailing whitespace was already trailing junk).
+  int64_t v = 123;
+  EXPECT_FALSE(ParseInt64Checked(" 5", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64Checked("+5", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64Checked("5 ", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64Checked("\t5", 0, 100, &v));
+  EXPECT_FALSE(ParseInt64Checked(" -5", -10, 10, &v));
+  EXPECT_EQ(v, 123);  // Untouched on failure.
+
+  uint64_t u = 7;
+  EXPECT_FALSE(ParseUint64Checked(" 5", 0, 100, &u));
+  EXPECT_FALSE(ParseUint64Checked("+5", 0, 100, &u));
+  EXPECT_FALSE(ParseUint64Checked("5 ", 0, 100, &u));
+  EXPECT_FALSE(ParseUint64Checked("\n5", 0, 100, &u));
+  EXPECT_EQ(u, 7u);
+
+  uint32_t u32 = 9;
+  EXPECT_FALSE(ParseUint32Checked(" 4", 1, 4096, &u32));
+  EXPECT_FALSE(ParseUint32Checked("+4", 1, 4096, &u32));
+  EXPECT_EQ(u32, 9u);
+}
+
 TEST(ParseCheckedTest, RangeAndOverflow) {
   int64_t v = 0;
   EXPECT_FALSE(ParseInt64Checked("101", 0, 100, &v));

@@ -16,6 +16,23 @@
 //         social:<vertices>[:<deg>]  ntree:<vertices>
 //       --weights <max> adds random integer weights.
 //
+//   dcd serve --rel name=path:spec ... [options]
+//       Starts the resident multi-query server: base relations are loaded
+//       once into a shared store, then HTTP clients POST programs to
+//       /query (each runs as its own session over a pinned EDB snapshot,
+//       scheduled onto one shared worker pool). Endpoints: POST /query
+//       [?workers=N&dump=pred], POST /update (update-script body),
+//       GET /healthz, /metrics, /trace (admission decisions),
+//       /sessions/<id>/metrics, /sessions/<id>/trace; POST /shutdown.
+//       serve-only options:
+//         --port N            listen port (default 0 = ephemeral)
+//         --port-file FILE    write the bound port for scripted clients
+//         --pool N            shared worker-pool capacity (default: hw)
+//         --updates FILE      stream the script's batches into the store,
+//                             one batch per --update-interval-ms (def 100)
+//       --rel specs are mandatory in serve mode (no program to infer
+//       arities from).
+//
 // Common options (--flag value and --flag=value are both accepted):
 //   --workers N        worker threads, 1..4096 (default: hardware)
 //   --mode global|ssp|dws
@@ -37,11 +54,14 @@
 //   --metrics-out FILE write the flat metrics snapshot JSON (counters plus
 //                      per-worker latency/batch histograms)
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parse.h"
@@ -49,6 +69,7 @@
 #include "core/trace_export.h"
 #include "datalog/analysis.h"
 #include "graph/generators.h"
+#include "server/server.h"
 #include "storage/text_io.h"
 #include "storage/updates.h"
 
@@ -60,6 +81,7 @@ int Usage() {
                "usage: dcd run <program.dl> --rel name=path[:spec] ...\n"
                "       dcd explain <program.dl> --rel ...\n"
                "       dcd generate <kind>:<args> <path> [--weights W]\n"
+               "       dcd serve --rel name=path:spec ... [--port N]\n"
                "see the header of tools/dcd_cli.cc for all options\n");
   return 2;
 }
@@ -75,6 +97,11 @@ struct Options {
   std::string trace_out;
   std::string metrics_out;
   std::string updates_path;
+  // serve-only:
+  uint32_t port = 0;
+  std::string port_file;
+  uint32_t pool_capacity = 0;
+  uint32_t update_interval_ms = 100;
 };
 
 bool ParseCommon(int argc, char** argv, int start, Options* opts) {
@@ -206,6 +233,42 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       const char* v = next();
       if (!v || *v == '\0') return false;
       opts->updates_path = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      uint32_t port = 0;
+      if (!v || !ParseUint32Checked(v, 0, 65535, &port)) {
+        std::fprintf(stderr,
+                     "--port expects an integer in [0, 65535], got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+      opts->port = port;
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v || *v == '\0') return false;
+      opts->port_file = v;
+    } else if (arg == "--pool") {
+      const char* v = next();
+      uint32_t pool = 0;
+      if (!v || !ParseUint32Checked(v, 1, 4096, &pool)) {
+        std::fprintf(stderr,
+                     "--pool expects an integer in [1, 4096], got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+      opts->pool_capacity = pool;
+    } else if (arg == "--update-interval-ms") {
+      const char* v = next();
+      uint32_t interval = 0;
+      if (!v || !ParseUint32Checked(v, 0, 3600000, &interval)) {
+        std::fprintf(
+            stderr,
+            "--update-interval-ms expects an integer in [0, 3600000], "
+            "got '%s'\n",
+            v ? v : "(nothing)");
+        return false;
+      }
+      opts->update_interval_ms = interval;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -376,6 +439,106 @@ int CmdRun(const Options& opts) {
   return 0;
 }
 
+int CmdServe(const Options& opts) {
+  ServerOptions server_opts;
+  server_opts.port = static_cast<uint16_t>(opts.port);
+  server_opts.pool_capacity = opts.pool_capacity;
+  server_opts.engine = opts.engine;
+  DcdServer server(server_opts);
+
+  // Serve mode has no program to infer arities from, so every --rel must
+  // carry an explicit :spec.
+  for (const auto& [name, path_spec] : opts.relations) {
+    const size_t colon = path_spec.rfind(':');
+    std::string spec;
+    std::string path = path_spec;
+    if (colon != std::string::npos && colon + 1 < path_spec.size()) {
+      const std::string tail = path_spec.substr(colon + 1);
+      if (tail.find_first_not_of("ids") == std::string::npos) {
+        spec = tail;
+        path = path_spec.substr(0, colon);
+      }
+    }
+    if (spec.empty()) {
+      std::fprintf(stderr,
+                   "serve mode needs an explicit spec: %s=%s:<spec>\n",
+                   name.c_str(), path.c_str());
+      return 1;
+    }
+    auto schema = ParseSchemaSpec(spec);
+    if (!schema.ok()) {
+      std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+      return 1;
+    }
+    auto rel = LoadRelationFile(name, schema.value(), path,
+                                server.store()->dict());
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s\n", rel.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %s: %llu facts\n", name.c_str(),
+                 static_cast<unsigned long long>(rel.value().size()));
+    server.store()->PutRelation(std::move(rel).value());
+  }
+
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "dcd serve: listening on 127.0.0.1:%u (pool=%u)\n",
+               server.port(), server.pool()->capacity());
+  if (!opts.port_file.empty()) {
+    std::FILE* f = std::fopen(opts.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write port file: %s\n",
+                   opts.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  // Optional update stream: feed the script's batches into the store on a
+  // timer, copy-on-write — running sessions keep their pinned snapshots.
+  std::atomic<bool> stop_updates{false};
+  std::thread updater;
+  if (!opts.updates_path.empty()) {
+    auto script = LoadUpdateScriptFile(opts.updates_path);
+    if (!script.ok()) {
+      std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+      return 1;
+    }
+    updater = std::thread([&server, &stop_updates,
+                           script = std::move(script).value(),
+                           interval_ms = opts.update_interval_ms] {
+      for (const UpdateBatch& batch : script.batches) {
+        if (stop_updates.load(std::memory_order_acquire)) return;
+        auto applied = server.store()->ApplyBatch(batch);
+        if (!applied.ok()) {
+          std::fprintf(stderr, "update batch failed: %s\n",
+                       applied.status().ToString().c_str());
+          return;
+        }
+        std::fprintf(stderr, "applied update batch -> store version %llu\n",
+                     static_cast<unsigned long long>(
+                         applied.value().version));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+      }
+    });
+  }
+
+  while (!server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "dcd serve: shutdown requested\n");
+  stop_updates.store(true, std::memory_order_release);
+  if (updater.joinable()) updater.join();
+  server.Stop();
+  return 0;
+}
+
 int CmdExplain(const Options& opts) {
   DCDatalog db(opts.engine);
   Status st = db.LoadProgramFile(opts.program_path);
@@ -453,10 +616,15 @@ int CmdGenerate(const std::string& kind_spec, const std::string& path,
 
 int main(int argc, char** argv) {
   using namespace dcdatalog;
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   Options opts;
 
+  if (cmd == "serve") {
+    if (!ParseCommon(argc, argv, 2, &opts)) return Usage();
+    return CmdServe(opts);
+  }
+  if (argc < 3) return Usage();
   if (cmd == "run" || cmd == "explain") {
     opts.program_path = argv[2];
     if (!ParseCommon(argc, argv, 3, &opts)) return Usage();

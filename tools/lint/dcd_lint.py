@@ -5,9 +5,10 @@ Enforces the rules docs/INTERNALS.md §7 lists that clang's thread-safety
 analysis cannot express:
 
   memory-order      Every std::atomic load/store/RMW in src/concurrent/,
-                    src/runtime/ and src/core/ must name an explicit
-                    std::memory_order — no implicit seq_cst on hot paths —
-                    and no operator sugar (++, +=, =) on atomics there.
+                    src/runtime/, src/core/ and src/server/ must name an
+                    explicit std::memory_order — no implicit seq_cst on hot
+                    paths — and no operator sugar (++, +=, =) on atomics
+                    there.
   hot-path-mutex    No mutexes, condition variables or blocking sleeps in
                     the evaluation hot paths (rings, barrier, termination,
                     distributor, gather/merge, pipelines, strategy loops).
@@ -59,7 +60,7 @@ REPO_ROOT = os.path.normpath(
 
 # --- Rule scopes -----------------------------------------------------------
 
-MEMORY_ORDER_DIRS = ("src/concurrent", "src/runtime", "src/core")
+MEMORY_ORDER_DIRS = ("src/concurrent", "src/runtime", "src/core", "src/server")
 
 # Files forming the evaluation hot paths: everything that runs per tuple,
 # per block or per local iteration. Locks and blocking calls here would
