@@ -1,0 +1,107 @@
+// Skew ablation (PR 10): transitive closure over a hub-skewed EDB with
+// morsel stealing on vs off, plus the same pair on a uniform graph.
+//
+// The star/hub graph concentrates every iteration-1 driving tuple on the
+// hub owner's partition: with stealing off the other workers idle-spin at
+// the coordination point while one worker grinds through the hub backlog;
+// with stealing on they claim tail morsels of that backlog and run them
+// against the owner's replica. BENCH_PR10.json reports the on/off ratio —
+// the headline — and the uniform pair guards the other direction: on a
+// graph with no skew the adaptive publish threshold must keep the morsel
+// machinery silent, so steal-on may not tax the balanced case.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dcdatalog.h"
+#include "graph/generators.h"
+
+namespace dcdatalog {
+namespace {
+
+constexpr char kTc[] =
+    "tc(X, Y) :- arc(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), arc(Z, Y).\n";
+
+void TcBench(benchmark::State& state, const Graph& g,
+             const EngineOptions& opts) {
+  for (auto _ : state) {
+    DCDatalog db(opts);
+    db.AddGraph(g, "arc");
+    if (!db.LoadProgramText(kTc).ok()) {
+      state.SkipWithError("program load failed");
+      return;
+    }
+    auto stats = db.Run();
+    if (!stats.ok()) {
+      state.SkipWithError("engine run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(stats.value().tuples_routed);
+  }
+}
+
+/// Hub-skewed EDB. The spoke count is chosen so the hub owner's driving
+/// backlog (~spokes tuples, each joining against the hub's full out-edge
+/// list) dwarfs every other partition, while the closure (~spokes² rows)
+/// stays small enough for a sub-second iteration.
+const Graph& SkewGraph() {
+  static const Graph g = GenerateStarHub(1200, 17);
+  return g;
+}
+
+EngineOptions SkewOpts(bool steal) {
+  EngineOptions opts;
+  opts.num_workers = 4;
+  // Global's barrier makes the skew cost visible in its purest form: every
+  // non-hub worker parks at the barrier until the hub owner finishes, and
+  // with stealing on those parked workers run morsels instead of spinning.
+  opts.coordination = CoordinationMode::kGlobal;
+  opts.enable_steal = steal;
+  // Small morsels so the 8-slot board exposes a meaningful share of the
+  // backlog per publish round. Identical on both axes — enable_steal is
+  // the only difference between the on and off runs.
+  opts.steal_morsel_tuples = 64;
+  return opts;
+}
+
+void BM_SkewTcStealOn(benchmark::State& state) {
+  TcBench(state, SkewGraph(), SkewOpts(true));
+}
+BENCHMARK(BM_SkewTcStealOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SkewTcStealOff(benchmark::State& state) {
+  TcBench(state, SkewGraph(), SkewOpts(false));
+}
+BENCHMARK(BM_SkewTcStealOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Uniform control: the PR 6/7 end-to-end TC workload (gnp:300:0.01, DWS,
+/// 4 workers) under production steal defaults. No partition dominates, so
+/// the adaptive threshold should never trigger a publish and the two
+/// timings should be statistically identical (the ≤5% regression gate).
+const Graph& UniformGraph() {
+  static const Graph g = GenerateGnp(300, 0.01, 17);
+  return g;
+}
+
+EngineOptions UniformOpts(bool steal) {
+  EngineOptions opts;
+  opts.num_workers = 4;
+  opts.coordination = CoordinationMode::kDws;
+  opts.enable_steal = steal;
+  return opts;
+}
+
+void BM_UniformTcStealOn(benchmark::State& state) {
+  TcBench(state, UniformGraph(), UniformOpts(true));
+}
+BENCHMARK(BM_UniformTcStealOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_UniformTcStealOff(benchmark::State& state) {
+  TcBench(state, UniformGraph(), UniformOpts(false));
+}
+BENCHMARK(BM_UniformTcStealOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace dcdatalog
+
+BENCHMARK_MAIN();

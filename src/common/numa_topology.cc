@@ -1,0 +1,152 @@
+#include "common/numa_topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dcdatalog {
+
+namespace {
+
+// Reads a small sysfs file into `out`. Returns false on any I/O error.
+bool ReadSmallFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "re");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out->assign(buf, n);
+  while (!out->empty() && (out->back() == '\n' || out->back() == '\r')) {
+    out->pop_back();
+  }
+  return true;
+}
+
+NumaTopology SingleNodeFallback() {
+  NumaTopology topo;
+  topo.nodes.push_back(NumaTopology::Node{0, {}});
+  return topo;
+}
+
+}  // namespace
+
+bool NumaTopology::ParseCpuList(const std::string& list,
+                                std::vector<uint32_t>* out) {
+  out->clear();
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* end = nullptr;
+    unsigned long lo = std::strtoul(p, &end, 10);
+    if (end == p) return false;
+    unsigned long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtoul(p, &end, 10);
+      if (end == p || hi < lo) return false;
+      p = end;
+    }
+    if (hi - lo > 4096) return false;  // Reject absurd ranges (corrupt input).
+    for (unsigned long c = lo; c <= hi; ++c) {
+      out->push_back(static_cast<uint32_t>(c));
+    }
+    if (*p == ',') {
+      ++p;
+      if (*p == '\0') return false;
+    } else if (*p != '\0') {
+      return false;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return !out->empty();
+}
+
+NumaTopology NumaTopology::FromString(const std::string& spec) {
+  NumaTopology topo;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t semi = spec.find(';', pos);
+    std::string part = spec.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec.size() : semi + 1;
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) return NumaTopology{};
+    char* end = nullptr;
+    const std::string id_str = part.substr(0, colon);
+    unsigned long id = std::strtoul(id_str.c_str(), &end, 10);
+    if (end == id_str.c_str() || *end != '\0') return NumaTopology{};
+    Node node;
+    node.id = static_cast<uint32_t>(id);
+    if (!ParseCpuList(part.substr(colon + 1), &node.cpus)) {
+      return NumaTopology{};
+    }
+    topo.nodes.push_back(std::move(node));
+  }
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+  return topo;
+}
+
+NumaTopology NumaTopology::Probe() {
+#ifdef __linux__
+  DIR* dir = opendir("/sys/devices/system/node");
+  if (dir == nullptr) return SingleNodeFallback();
+  NumaTopology topo;
+  struct dirent* ent;
+  while ((ent = readdir(dir)) != nullptr) {
+    unsigned long id = 0;
+    if (std::sscanf(ent->d_name, "node%lu", &id) != 1) continue;
+    // Guard against directories like "node0foo": require exact match.
+    char expect[32];
+    std::snprintf(expect, sizeof(expect), "node%lu", id);
+    if (std::strcmp(expect, ent->d_name) != 0) continue;
+    std::string cpulist;
+    std::string path = "/sys/devices/system/node/";
+    path += ent->d_name;
+    path += "/cpulist";
+    Node node;
+    node.id = static_cast<uint32_t>(id);
+    if (!ReadSmallFile(path, &cpulist) ||
+        !ParseCpuList(cpulist, &node.cpus)) {
+      continue;  // Memory-only nodes have an empty cpulist; skip them.
+    }
+    topo.nodes.push_back(std::move(node));
+  }
+  closedir(dir);
+  if (topo.nodes.empty()) return SingleNodeFallback();
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+  return topo;
+#else
+  return SingleNodeFallback();
+#endif
+}
+
+bool PinThreadToNode(const NumaTopology& topo, uint32_t node_idx) {
+#ifdef __linux__
+  if (node_idx >= topo.nodes.size()) return false;
+  const NumaTopology::Node& node = topo.nodes[node_idx];
+  if (node.cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (uint32_t cpu : node.cpus) {
+    if (cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)topo;
+  (void)node_idx;
+  return false;
+#endif
+}
+
+}  // namespace dcdatalog

@@ -1,0 +1,69 @@
+#ifndef DCDATALOG_COMMON_NUMA_TOPOLOGY_H_
+#define DCDATALOG_COMMON_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcdatalog {
+
+/// Machine NUMA topology as the engine sees it: the nodes (sockets) and the
+/// logical CPUs on each. Probed once from /sys/devices/system/node; a
+/// machine without that hierarchy (or with a single node) degrades to one
+/// node holding every CPU, which makes all placement logic a no-op — the
+/// graceful single-socket fallback EngineOptions::numa=auto relies on.
+///
+/// Placement policy (docs/INTERNALS.md §11): workers are assigned to nodes
+/// breadth-first (worker w → node w mod nodes), so a 4-worker gang on a
+/// 2-socket machine puts two workers on each socket instead of filling
+/// socket 0 first. Breadth-first wins for this engine because the n² SPSC
+/// rings carry whole 2 KiB MsgBlocks: the bandwidth-bound structures
+/// (replica tables, staging blocks, ring slots) are first-touch local to
+/// their single owner, and cross-socket traffic is block-granular either
+/// way, so spreading workers maximizes the aggregate memory bandwidth the
+/// fixpoint can draw.
+struct NumaTopology {
+  struct Node {
+    uint32_t id = 0;                // Kernel node id (node<id> directory).
+    std::vector<uint32_t> cpus;    // Logical CPUs on this node, sorted.
+  };
+
+  std::vector<Node> nodes;
+
+  bool MultiNode() const { return nodes.size() > 1; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes.size()); }
+
+  /// Breadth-first node index for worker `wid` (wid mod nodes; 0 when the
+  /// topology is empty or single-node).
+  uint32_t NodeForWorker(uint32_t wid) const {
+    return nodes.size() > 1 ? wid % static_cast<uint32_t>(nodes.size()) : 0;
+  }
+
+  /// Probes /sys/devices/system/node/node*/cpulist. Any failure (missing
+  /// sysfs, unparsable file, non-Linux host) yields the single-node
+  /// fallback so callers never branch on probe errors.
+  static NumaTopology Probe();
+
+  /// Builds a topology from a spec string, for tests and what-if planning:
+  /// "0:0-3;1:4-7" → node 0 with CPUs {0,1,2,3}, node 1 with {4,5,6,7}.
+  /// CPU lists use the kernel cpulist syntax (comma-separated ranges).
+  /// Returns an empty topology (nodes.empty()) on malformed input.
+  static NumaTopology FromString(const std::string& spec);
+
+  /// Parses one kernel cpulist ("0-3,8,10-11") into sorted CPU ids.
+  /// Returns false on malformed input.
+  static bool ParseCpuList(const std::string& list,
+                           std::vector<uint32_t>* out);
+};
+
+/// Pins the calling thread to every CPU of `topo.nodes[node_idx]`
+/// (pthread_setaffinity_np). Returns false (and changes nothing) when the
+/// node index is out of range, the node has no CPUs, or the platform does
+/// not support thread affinity. Pinning to the node's whole CPU set — not
+/// one core — keeps the OS scheduler free to balance workers within the
+/// socket while guaranteeing first-touch allocations land node-local.
+bool PinThreadToNode(const NumaTopology& topo, uint32_t node_idx);
+
+}  // namespace dcdatalog
+
+#endif  // DCDATALOG_COMMON_NUMA_TOPOLOGY_H_

@@ -146,7 +146,12 @@ void WorkerPool::Run(uint32_t num_workers,
     // A gang wider than the pool can never be granted; run it on dedicated
     // threads instead of deadlocking. Admission control is expected to keep
     // sessions inside the pool budget, so this is a correctness backstop,
-    // not a sizing strategy.
+    // not a sizing strategy — counted, so the overload is visible instead
+    // of silently oversubscribing the machine.
+    {
+      MutexLock lock(&mu_);
+      ++fallback_gangs_;
+    }
     RunWorkers(num_workers, fn);
     return;
   }
@@ -182,6 +187,11 @@ uint32_t WorkerPool::InUse() const {
 uint32_t WorkerPool::Waiting() const {
   MutexLock lock(&mu_);
   return static_cast<uint32_t>(next_ticket_ - serving_ticket_);
+}
+
+uint64_t WorkerPool::FallbackGangs() const {
+  MutexLock lock(&mu_);
+  return fallback_gangs_;
 }
 
 uint64_t WorkerPool::JobsRun() const {

@@ -79,6 +79,12 @@ class WorkerPool {
   /// Total gangs completed since construction.
   uint64_t JobsRun() const DCD_EXCLUDES(mu_);
 
+  /// Gangs wider than the pool that ran on dedicated fallback threads.
+  /// These oversubscribe the machine behind admission control's back, so
+  /// the count is surfaced through /metrics and EvalStats — a nonzero
+  /// value means session worker budgets exceed the pool size.
+  uint64_t FallbackGangs() const DCD_EXCLUDES(mu_);
+
  private:
   /// One granted gang's control block, owned by the Run() stack frame.
   struct Job {
@@ -97,6 +103,7 @@ class WorkerPool {
   uint64_t next_ticket_ DCD_GUARDED_BY(mu_) = 0;   // Arrival order.
   uint64_t serving_ticket_ DCD_GUARDED_BY(mu_) = 0;  // Head of the queue.
   uint64_t jobs_run_ DCD_GUARDED_BY(mu_) = 0;
+  uint64_t fallback_gangs_ DCD_GUARDED_BY(mu_) = 0;
   bool stop_ DCD_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };

@@ -72,6 +72,18 @@ struct EvalStats {
   /// Tuples the DRed delete path re-derived: over-deleted during closure,
   /// then recovered by re-running the SCC's rules from the survivors.
   uint64_t rederived_tuples = 0;
+  /// Morsels a loaded worker published from its driving-set tail for idle
+  /// workers to steal (docs/INTERNALS.md §11; 0 under --steal=off).
+  uint64_t morsels_published = 0;
+  /// Published morsels claimed and executed by a worker other than the
+  /// owner (the rest were reclaimed by their owner at iteration end).
+  uint64_t morsels_stolen = 0;
+  /// Driving tuples executed through stolen morsels.
+  uint64_t tuples_stolen = 0;
+  /// Evaluation gangs that exceeded the shared WorkerPool's capacity and
+  /// fell back to dedicated threads (oversubscription signal; 0 when no
+  /// pool is configured or the gang fit).
+  uint64_t pool_fallback_gangs = 0;
 
   /// Populated only when EngineOptions::enable_trace is set: the merged
   /// snapshot of every worker's trace ring, in per-worker append order.

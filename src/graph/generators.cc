@@ -154,6 +154,64 @@ Graph GenerateSocialGraph(uint64_t num_vertices, uint64_t avg_degree,
   return out;
 }
 
+Graph GenerateStarHub(uint64_t spokes, uint64_t seed) {
+  DCD_CHECK(spokes > 0);
+  // Layout: hub = 0, sources = [1, spokes], sinks = [spokes+1, 2*spokes].
+  // The sink chain (t_j → t_{j+1} for a short prefix) keeps TC recursive
+  // past iteration 1 without changing where the skew lives. The seed only
+  // shuffles source/sink labels so hash partitioning cannot accidentally
+  // align with the layout.
+  const uint64_t n = 2 * spokes + 1;
+  Rng rng(seed);
+  std::vector<uint64_t> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  // Shuffle everything but the hub's label (index 0 stays 0 for clarity —
+  // partitioning hashes values, so the hub's id is irrelevant to placement).
+  for (uint64_t i = n; i > 2; --i) {
+    std::swap(label[i - 1], label[1 + rng.Uniform(i - 1)]);
+  }
+  Graph graph(n);
+  graph.Reserve(2 * spokes + spokes / 8 + 1);
+  for (uint64_t s = 0; s < spokes; ++s) {
+    graph.AddEdge(label[1 + s], label[0]);               // s_i → h
+    graph.AddEdge(label[0], label[1 + spokes + s]);      // h → t_j
+  }
+  for (uint64_t s = 0; s + 1 < spokes / 8; ++s) {        // short sink chain
+    graph.AddEdge(label[1 + spokes + s], label[1 + spokes + s + 1]);
+  }
+  return graph;
+}
+
+Graph GenerateZipfDegree(uint64_t num_vertices, double alpha,
+                         uint64_t max_degree, uint64_t seed) {
+  DCD_CHECK(num_vertices > 1);
+  DCD_CHECK(alpha > 0.0);
+  Rng rng(seed);
+  Graph graph(num_vertices);
+  // Rank-based Zipf: vertex of rank r (after a random relabeling) gets
+  // out-degree ~ max_degree / (r+1)^alpha, floored at 1. Deterministic in
+  // the seed and O(edges), no rejection sampling needed.
+  std::vector<uint64_t> rank(num_vertices);
+  std::iota(rank.begin(), rank.end(), 0);
+  for (uint64_t i = num_vertices; i > 1; --i) {
+    std::swap(rank[i - 1], rank[rng.Uniform(i)]);
+  }
+  for (uint64_t r = 0; r < num_vertices; ++r) {
+    const double scaled =
+        static_cast<double>(max_degree) / std::pow(static_cast<double>(r + 1),
+                                                   alpha);
+    const uint64_t degree = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(scaled)));
+    const uint64_t src = rank[r];
+    for (uint64_t d = 0; d < degree; ++d) {
+      const uint64_t dst = rng.Uniform(num_vertices);
+      if (dst != src) graph.AddEdge(src, dst);
+    }
+  }
+  graph.Canonicalize();
+  return graph;
+}
+
 void AssignRandomWeights(Graph* graph, int64_t max_weight, uint64_t seed) {
   Rng rng(seed);
   Graph weighted(graph->num_vertices());

@@ -56,7 +56,7 @@ bool RecursiveTable::BetterValue(uint64_t candidate, uint64_t current) const {
 }
 
 void RecursiveTable::ReserveHint(uint64_t expected_rows) {
-  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_AFFINITY_GUARD_WRITE(writer_affinity_);
   if (expected_rows == 0) return;
   rows_.Reserve(expected_rows);
   if (use_join_index_) join_index_.Reserve(expected_rows);
@@ -307,7 +307,7 @@ bool RecursiveTable::MergeSum(const uint64_t* wire) {
 }
 
 DCD_HOT_ROOT bool RecursiveTable::MergeWire(const uint64_t* wire) {
-  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_AFFINITY_GUARD_WRITE(writer_affinity_);
   ++merges_;
   switch (spec_.func) {
     case AggFunc::kNone:
@@ -342,7 +342,7 @@ uint64_t RecursiveTable::FindRowId(TupleRef tuple) const {
 
 void RecursiveTable::CompactRemoveRows(
     const std::vector<uint64_t>& dead_row_ids) {
-  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_AFFINITY_GUARD_WRITE(writer_affinity_);
   DCD_CHECK(spec_.func == AggFunc::kNone)
       << "compaction is only defined for kNone tables";
   if (dead_row_ids.empty()) return;
@@ -396,7 +396,7 @@ void RecursiveTable::CompactRemoveRows(
 }
 
 void RecursiveTable::SeedDeltaWithAllRows() {
-  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_AFFINITY_GUARD_WRITE(writer_affinity_);
   const uint64_t n = rows_.size();
   delta_.reserve(delta_.size() + n);
   for (uint64_t r = 0; r < n; ++r) {
@@ -473,7 +473,7 @@ void RecursiveTable::MergeMinMaxBatchByScan(
 }
 
 DCD_HOT_ROOT void RecursiveTable::MergeBatch(const std::vector<TupleBuf>& wires) {
-  DCD_AFFINITY_GUARD(writer_affinity_);
+  DCD_AFFINITY_GUARD_WRITE(writer_affinity_);
   if (wires.empty()) return;
   if (spec_.func == AggFunc::kNone) {
     // Plain dedup: every accept is a distinct new row, no amplification.

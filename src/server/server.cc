@@ -98,10 +98,11 @@ Result<QueryResult> DcdServer::ExecuteQuery(const std::string& program_text,
   EngineOptions eo = options_.engine;
   if (num_workers != 0) eo.num_workers = num_workers;
   eo = eo.Resolved();
-  // A gang wider than the pool would bypass it (WorkerPool::Run's
-  // dedicated-thread backstop); clamp instead so admission's budget
-  // arithmetic stays truthful.
-  eo.num_workers = std::min(eo.num_workers, pool_.capacity());
+  // A gang wider than the pool bypasses it (WorkerPool::Run's
+  // dedicated-thread backstop). The requested width is NOT clamped: the
+  // fallback gang's threads load the machine all the same, so admission's
+  // ρ numerator must count them — a ρ above 1 is the visible overload
+  // signal, and the pool's fallback_gangs counter names the culprit.
   eo.worker_pool = &pool_;
   eo.enable_trace = true;  // Per-session trace export is part of serving.
 
@@ -223,7 +224,8 @@ std::string DcdServer::MetricsJson() const {
   os << "{\"pool\": {\"capacity\": " << pool_.capacity()
      << ", \"in_use\": " << pool_.InUse()
      << ", \"waiting\": " << pool_.Waiting()
-     << ", \"jobs_run\": " << pool_.JobsRun() << "},\n"
+     << ", \"jobs_run\": " << pool_.JobsRun()
+     << ", \"fallback_gangs\": " << pool_.FallbackGangs() << "},\n"
      << "\"admission\": {\"admitted\": " << admission_.admitted_count()
      << ", \"queued\": " << admission_.queued_count()
      << ", \"lambda\": " << admission_.lambda()

@@ -316,13 +316,24 @@ Graph GenerateEdb(Rng* rng, uint64_t max_vertices) {
     // taller trees blow past max_vertices exponentially.
     g = GenerateRandomTree(2 + static_cast<uint32_t>(rng->Uniform(2)),
                            rng->Next());
-  } else if (d < 0.7) {
+  } else if (d < 0.67) {
     // Chain plus random shortcuts: long dependency paths → many rounds.
     const uint64_t n = 8 + rng->Uniform(cap);
     for (uint64_t v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
     for (uint64_t i = 0; i < n / 4; ++i) {
       g.AddEdge(rng->Uniform(n), rng->Uniform(n));
     }
+  } else if (d < 0.74) {
+    // Star/hub: all join work for the hub lands on one partition — the
+    // adversarial input for morsel stealing. Small enough that the oracle's
+    // closure stays cheap (closure is ~spokes² over the sinks).
+    g = GenerateStarHub(8 + rng->Uniform(cap / 4), rng->Next());
+  } else if (d < 0.8) {
+    // Zipf out-degrees: several hot partitions of different sizes, so the
+    // adaptive publish threshold (not just one pathological hub) is hit.
+    const uint64_t n = 16 + rng->Uniform(cap / 2);
+    g = GenerateZipfDegree(n, 0.8 + 0.8 * rng->NextDouble(),
+                           2 + rng->Uniform(n / 3), rng->Next());
   } else {
     // Mean degree stays below ~5 so the naive oracle's quadratic joins
     // over (closures of) this graph remain cheap.

@@ -268,6 +268,72 @@ TEST(TerminationTest, ConcurrentProduceConsumeNeverFalseTerminates) {
   EXPECT_FALSE(det.Done());
 }
 
+TEST(TerminationTest, MorselAccountingBalances) {
+  // A published morsel raises produced before its kPublished release-store;
+  // the executor credits consumed only after its derived tuples flushed.
+  // Between the two, termination must be impossible even with every worker
+  // deactivated — the in-flight morsel is "work in the system".
+  TerminationDetector det(2);
+  det.OnMorselPublished(16);
+  det.Deactivate(0);
+  det.Deactivate(1);
+  EXPECT_FALSE(det.CheckTermination());
+  det.OnMorselExecuted(1, 16);
+  EXPECT_TRUE(det.CheckTermination());
+}
+
+TEST(TerminationTest, StolenMorselStressNeverFalseTerminates) {
+  // Owner publishes morsels, thief claims and executes them, both under a
+  // checker hammering CheckTermination. Models stealing forced on: the
+  // owner's produced-count and the thief's consumed-count race freely, and
+  // no interleaving may let a termination round pass while a morsel is in
+  // flight (the thief also Activates around each execution, as TrySteal
+  // does).
+  TerminationDetector det(2);
+  std::atomic<int> published{0};
+  std::atomic<int> executed{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> false_positive{false};
+  constexpr int kMorsels = 20000;
+
+  std::thread owner([&] {
+    for (int i = 0; i < kMorsels; ++i) {
+      det.OnMorselPublished(8);
+      published.fetch_add(1, std::memory_order_release);
+    }
+  });
+  std::thread thief([&] {
+    int done = 0;
+    while (done < kMorsels) {
+      if (published.load(std::memory_order_acquire) > done) {
+        det.Activate(1);
+        det.OnMorselExecuted(1, 8);
+        det.Deactivate(1);
+        ++done;
+        executed.fetch_add(1);
+      }
+    }
+    stop.store(true);
+  });
+  std::thread checker([&] {
+    while (!stop.load()) {
+      if (det.CheckTermination()) {
+        false_positive.store(true);
+        return;
+      }
+    }
+  });
+  owner.join();
+  thief.join();
+  checker.join();
+  // Worker 0 never deactivated → the detector must not have fired.
+  EXPECT_FALSE(false_positive.load());
+  EXPECT_EQ(executed.load(), kMorsels);
+  // With worker 0 parked too, the drained system terminates cleanly.
+  det.Deactivate(0);
+  EXPECT_TRUE(det.CheckTermination());
+}
+
 TEST(WorkerPoolTest, RunWorkersCoversAllIds) {
   std::vector<std::atomic<int>> hits(8);
   RunWorkers(8, [&hits](uint32_t wid) { hits[wid].fetch_add(1); });

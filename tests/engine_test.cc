@@ -49,6 +49,82 @@ TEST(EngineTest, ResultInvariantAcrossWorkerCounts) {
   EXPECT_FALSE(first.empty());
 }
 
+TEST(EngineTest, StealOnOffResultEquality) {
+  // TC over a star/hub graph puts the whole δ-backlog on the hub owner's
+  // partition — the workload morsel stealing rebalances. The result rows
+  // must not depend on the steal axis, under any strategy or worker count.
+  // The publish threshold is forced to 1 so test-sized deltas actually
+  // publish (production thresholds would make steal-on a silent no-op).
+  Graph g = GenerateStarHub(48, 9);
+  std::set<std::vector<uint64_t>> baseline;
+  bool have_baseline = false;
+  bool stole_somewhere = false;
+  for (CoordinationMode mode : {CoordinationMode::kGlobal,
+                                CoordinationMode::kSsp,
+                                CoordinationMode::kDws}) {
+    for (uint32_t workers : {1u, 2u, 4u}) {
+      for (bool steal : {false, true}) {
+        EngineOptions o = Opts(workers, mode);
+        o.enable_steal = steal;
+        o.steal_min_backlog = 1;
+        o.steal_morsel_tuples = 16;
+        DCDatalog db(o);
+        db.AddGraph(g, "arc");
+        ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+        auto stats = db.Run();
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        auto rows = RowSet(*db.ResultFor("tc"));
+        if (!have_baseline) {
+          baseline = rows;
+          have_baseline = true;
+        } else {
+          EXPECT_EQ(rows, baseline)
+              << "mode " << static_cast<int>(mode) << " x" << workers
+              << " steal=" << steal;
+        }
+        if (steal) stole_somewhere |= stats.value().morsels_stolen > 0;
+        if (!steal) {
+          EXPECT_EQ(stats.value().morsels_published, 0u);
+          EXPECT_EQ(stats.value().morsels_stolen, 0u);
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+  // At least one steal-on run should actually exercise the morsel path with
+  // the threshold forced down; all-zero means the publish hook is dead and
+  // the axis tests nothing. A claim needs an idle worker to reach its
+  // TrySteal while a slot is published, which on a loaded (or single-CPU)
+  // host is a scheduling race the tiny matrix runs above can lose — so
+  // retry a longer hub workload until a steal lands, instead of flaking.
+  Graph big = GenerateStarHub(400, 9);
+  std::set<std::vector<uint64_t>> big_baseline;
+  {
+    EngineOptions o = Opts(4, CoordinationMode::kGlobal);
+    o.enable_steal = false;
+    DCDatalog db(o);
+    db.AddGraph(big, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+    ASSERT_TRUE(db.Run().ok());
+    big_baseline = RowSet(*db.ResultFor("tc"));
+  }
+  for (int attempt = 0; attempt < 50 && !stole_somewhere; ++attempt) {
+    EngineOptions o = Opts(4, CoordinationMode::kGlobal);
+    o.enable_steal = true;
+    o.steal_min_backlog = 1;
+    o.steal_morsel_tuples = 16;
+    DCDatalog db(o);
+    db.AddGraph(big, "arc");
+    ASSERT_TRUE(db.LoadProgramText(kTc).ok());
+    auto stats = db.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(RowSet(*db.ResultFor("tc")), big_baseline)
+        << "steal-on attempt " << attempt;
+    stole_somewhere |= stats.value().morsels_stolen > 0;
+  }
+  EXPECT_TRUE(stole_somewhere);
+}
+
 TEST(EngineTest, StatsAreMeaningful) {
   DCDatalog db(Opts(2, CoordinationMode::kDws));
   Graph g;
@@ -400,9 +476,13 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
   s.update_batches = 118;
   s.delta_tuples_in = 119;
   s.rederived_tuples = 120;
+  s.morsels_published = 121;
+  s.morsels_stolen = 122;
+  s.tuples_stolen = 123;
+  s.pool_fallback_gangs = 124;
   const std::string str = s.ToString();
   const auto counters = s.Counters();
-  ASSERT_EQ(counters.size(), 20u)
+  ASSERT_EQ(counters.size(), 24u)
       << "EvalStats grew a field: stamp it above and list it in Counters()";
   std::set<double> sentinels;
   for (const auto& [name, value] : counters) {
@@ -410,9 +490,9 @@ TEST(EngineTest, ToStringCoversEveryCounter) {
         << "counter missing from ToString: " << name;
     sentinels.insert(value);
   }
-  // All 20 sentinels distinct → every field is wired to its own name, not
+  // All 24 sentinels distinct → every field is wired to its own name, not
   // copy-pasted from a neighbour.
-  EXPECT_EQ(sentinels.size(), 20u);
+  EXPECT_EQ(sentinels.size(), 24u);
   EXPECT_NE(str.find("tuples_emitted"), std::string::npos);
   EXPECT_NE(str.find("107"), std::string::npos);
 }

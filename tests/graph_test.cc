@@ -125,6 +125,52 @@ TEST(GeneratorsTest, SocialGraphPermutesIds) {
   EXPECT_FALSE(social.edges() == rmat.edges());  // Relabeled.
 }
 
+TEST(GeneratorsTest, StarHubShape) {
+  const uint64_t spokes = 64;
+  Graph a = GenerateStarHub(spokes, 3);
+  Graph b = GenerateStarHub(spokes, 3);
+  EXPECT_TRUE(a.edges() == b.edges());
+  EXPECT_EQ(a.num_vertices(), 2 * spokes + 1);
+  // 2·spokes star edges + the short sink chain.
+  EXPECT_GE(a.num_edges(), 2 * spokes);
+  EXPECT_LE(a.num_edges(), 2 * spokes + spokes / 8);
+  // One vertex is both the target of `spokes` edges and the source of
+  // `spokes` edges — the hub whose δ-backlog morsel stealing spreads out.
+  std::map<uint64_t, uint64_t> indeg, outdeg;
+  for (const Edge& e : a.edges()) {
+    ++outdeg[e.src];
+    ++indeg[e.dst];
+  }
+  uint64_t hubs = 0;
+  for (const auto& [v, d] : indeg) {
+    if (d == spokes) {
+      ++hubs;
+      EXPECT_EQ(outdeg[v], spokes);
+    }
+  }
+  EXPECT_EQ(hubs, 1u);
+}
+
+TEST(GeneratorsTest, ZipfDegreeSkewed) {
+  Graph a = GenerateZipfDegree(2000, 1.0, 500, 11);
+  Graph b = GenerateZipfDegree(2000, 1.0, 500, 11);
+  EXPECT_TRUE(a.edges() == b.edges());
+  std::map<uint64_t, uint64_t> outdeg;
+  for (const Edge& e : a.edges()) {
+    ASSERT_LT(e.src, 2000u);
+    ASSERT_LT(e.dst, 2000u);
+    ASSERT_NE(e.src, e.dst);
+    ++outdeg[e.src];
+  }
+  uint64_t max_deg = 0;
+  for (const auto& [v, d] : outdeg) max_deg = std::max(max_deg, d);
+  const double avg = static_cast<double>(a.num_edges()) / 2000.0;
+  // Rank-0 vertex gets ~max_degree edges (minus self-loop/dup losses);
+  // the harmonic-series average stays far below it.
+  EXPECT_GT(max_deg, 400u);
+  EXPECT_GT(max_deg, avg * 20);
+}
+
 TEST(GeneratorsTest, AssignRandomWeights) {
   Graph g = GenerateGnp(200, 0.05, 9);
   AssignRandomWeights(&g, 100, 13);

@@ -109,9 +109,16 @@ TEST(WorkerPoolTest, PropagatesFirstWorkerException) {
 TEST(WorkerPoolTest, OversizedGangFallsBackToDedicatedThreads) {
   WorkerPool pool(2);
   std::atomic<uint32_t> ran{0};
+  EXPECT_EQ(pool.FallbackGangs(), 0u);
   pool.Run(6, [&](uint32_t) { ran.fetch_add(1, std::memory_order_relaxed); });
   EXPECT_EQ(ran.load(std::memory_order_relaxed), 6u);
   EXPECT_EQ(pool.InUse(), 0u);
+  // The dedicated-thread bypass is counted: admission control's ρ and the
+  // /metrics fallback_gangs field both build on this (a silent bypass was
+  // the bug — threads loading the machine outside every accounting).
+  EXPECT_EQ(pool.FallbackGangs(), 1u);
+  pool.Run(2, [](uint32_t) {});  // In-capacity gangs leave it untouched.
+  EXPECT_EQ(pool.FallbackGangs(), 1u);
 }
 
 // --- EdbStore --------------------------------------------------------------
@@ -237,6 +244,23 @@ ServerOptions SmallServer(uint32_t pool = 4, uint32_t workers = 2) {
   return so;
 }
 
+TEST(DcdServerTest, OversizedSessionIsCountedNotClamped) {
+  // A session asking for more workers than the pool holds runs on fallback
+  // threads. Those threads load the machine, so the request must flow into
+  // admission's ρ numerator unclamped, the engine's EvalStats must flag the
+  // bypass, and /metrics must name the culprit via fallback_gangs.
+  DcdServer server(SmallServer(/*pool=*/2));
+  server.store()->PutRelation(ChainArc("arc", 6));
+  auto result = server.ExecuteQuery(kTc, /*num_workers=*/4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().outputs[0].size(), 21u);
+  EXPECT_EQ(result.value().stats.pool_fallback_gangs, 1u);
+  EXPECT_EQ(server.pool()->FallbackGangs(), 1u);
+  const std::string metrics = server.MetricsJson();
+  EXPECT_NE(metrics.find("\"fallback_gangs\": 1"), std::string::npos)
+      << metrics;
+}
+
 TEST(DcdServerTest, ExecutesQueryOverSnapshot) {
   DcdServer server(SmallServer());
   server.store()->PutRelation(ChainArc("arc", 6));
@@ -269,11 +293,11 @@ TEST(DcdServerTest, SessionStatsAreIsolatedPerSession) {
   for (auto& t : clients) t.join();
 
   for (const QueryResult& qr : results) {
-    // The counter vocabulary is pinned: 20 counters per session (the same
+    // The counter vocabulary is pinned: 24 counters per session (the same
     // ones engine_test's sentinel test stamps). A counter added to
     // EvalStats must surface here too — and a session must never report
     // another session's totals.
-    EXPECT_EQ(qr.stats.Counters().size(), 20u);
+    EXPECT_EQ(qr.stats.Counters().size(), 24u);
     // 40-edge chain: every session derives exactly the same fixpoint, and
     // accepts counts exactly the fixpoint's tuples — identical across
     // sessions only if nobody's counters bled into anybody else's.

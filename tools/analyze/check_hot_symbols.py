@@ -85,6 +85,11 @@ ALLOWED_CALLS = [
      "B+-tree node allocation on the non-default ablation-backend branch "
      "(DCD_COLD_CALL at source level) and the min/max pending-best "
      "rebuild, once per merge batch"),
+    (r"RecursiveTable::MergeBatch\(",
+     r"^operator (new|delete)",
+     "the audited MergeNone / min-max-by-scan bodies above inline into "
+     "the batch entry point at some optimization levels; same "
+     "once-per-batch allocator sites, just a different inlining home"),
 ]
 
 # `.cold` clones hold the paths GCC already proved cold (DCD_CHECK failure

@@ -108,6 +108,13 @@ HOT_ROOTS = [
     "SccExecutor::SspLoop",
     "SccExecutor::DwsLoop",
     "SccExecutor::RunUpdateRules",
+    # Morsel stealing (PR 10): publish/claim/execute/resolve all sit inside
+    # the strategy wait loops — the claim CAS runs once per idle probe.
+    "SccExecutor::PublishMorsels",
+    "SccExecutor::TrySteal",
+    "SccExecutor::RunMorsel",
+    "SccExecutor::ResolveMorsels",
+    "SccExecutor::TopUpMorsels",
     # Emit sinks: function-pointer boundary, see note above.
     "SccExecutor::EmitTupleThunk",
     "SccExecutor::EmitBatchThunk",
@@ -152,6 +159,10 @@ EVALSTATS_COUNTER_SITES = {
     "update_batches": None,     # once per ApplyUpdates batch (cold driver)
     "delta_tuples_in": None,    # per-batch aggregate in the cold driver
     "rederived_tuples": None,   # per delete-phase batch (cold driver)
+    "morsels_published": "SccExecutor::PublishMorsels",
+    "morsels_stolen": "SccExecutor::TrySteal",
+    "tuples_stolen": "SccExecutor::TrySteal",
+    "pool_fallback_gangs": None,  # once per oversized gang (cold dispatch)
 }
 
 

@@ -14,6 +14,7 @@
 //       Writes a synthetic dataset: kinds are
 //         rmat:<vertices>[:<deg>]    tree:<height>    gnp:<vertices>:<p>
 //         social:<vertices>[:<deg>]  ntree:<vertices>
+//         star:<spokes>              zipf:<vertices>[:<deg>[:<alpha>]]
 //       --weights <max> adds random integer weights.
 //
 //   dcd serve --rel name=path:spec ... [options]
@@ -42,6 +43,10 @@
 //                      flat; btree is the Table 4 ablation baseline)
 //   --pipeline-executor batch|tuple    rule-pipeline executor (default
 //                      batch; tuple is the ablation baseline)
+//   --steal on|off     skew-adaptive morsel stealing (default on; off is
+//                      the skew-ablation baseline)
+//   --numa auto|off    NUMA-aware worker placement and first-touch ring
+//                      allocation (default auto; no-op on single-socket)
 //   --out pred=path    write one predicate to a file (repeatable)
 //   --updates FILE     after the initial fixpoint, stream EDB update
 //                      batches from FILE ("+ rel v..." / "- rel v..." per
@@ -197,6 +202,28 @@ bool ParseCommon(int argc, char** argv, int start, Options* opts) {
       } else {
         std::fprintf(stderr,
                      "--pipeline-executor expects batch|tuple, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+    } else if (arg == "--steal") {
+      const char* v = next();
+      if (v && std::strcmp(v, "on") == 0) {
+        opts->engine.enable_steal = true;
+      } else if (v && std::strcmp(v, "off") == 0) {
+        opts->engine.enable_steal = false;
+      } else {
+        std::fprintf(stderr, "--steal expects on|off, got '%s'\n",
+                     v ? v : "(nothing)");
+        return false;
+      }
+    } else if (arg == "--numa") {
+      const char* v = next();
+      if (v && std::strcmp(v, "auto") == 0) {
+        opts->engine.numa = NumaMode::kAuto;
+      } else if (v && std::strcmp(v, "off") == 0) {
+        opts->engine.numa = NumaMode::kOff;
+      } else {
+        std::fprintf(stderr, "--numa expects auto|off, got '%s'\n",
                      v ? v : "(nothing)");
         return false;
       }
@@ -595,6 +622,11 @@ int CmdGenerate(const std::string& kind_spec, const std::string& path,
     g = GenerateSocialGraph(arg(1, 10000), arg(2, 10), opts.seed);
   } else if (kind == "ntree") {
     g = GenerateLeveledTree(arg(1, 10000), opts.seed);
+  } else if (kind == "star") {
+    g = GenerateStarHub(arg(1, 1024), opts.seed);
+  } else if (kind == "zipf") {
+    double alpha = parts.size() > 3 ? std::atof(parts[3].c_str()) : 1.0;
+    g = GenerateZipfDegree(arg(1, 10000), alpha, arg(2, 1000), opts.seed);
   } else {
     std::fprintf(stderr, "unknown generator kind: %s\n", kind.c_str());
     return 2;
